@@ -1,0 +1,186 @@
+(* Benchmark harness.
+
+   Two layers:
+
+   1. The experiment tables (E1-E10) — the paper has no measured tables of
+      its own, so these claim-derived tables ARE the reproduction targets;
+      running this binary regenerates every one of them (also individually:
+      `dune exec bench/main.exe -- e4`).
+
+   2. Bechamel wall-clock benchmarks — one Test.make per experiment table
+      (the cost of regenerating it), plus microbenchmarks of the simulator
+      substrate and the ablations called out in DESIGN.md (peek cost,
+      snapshot cost, erasure cost, adversary stability horizon). *)
+
+open Bechamel
+open Toolkit
+
+let experiment_tables : (string * (unit -> Core.Report.t list)) list =
+  [ ("e1", fun () -> [ Core.Experiment.e1 () ]);
+    ("e2", fun () -> [ Core.Experiment.e2 () ]);
+    ("e3", fun () -> Core.Experiment.e3 ());
+    ("e4", fun () -> [ Core.Experiment.e4 () ]);
+    ("e5", fun () -> [ Core.Experiment.e5 () ]);
+    ("e6", fun () -> [ Core.Experiment.e6 () ]);
+    ("e7", fun () -> [ Core.Experiment.e7 () ]);
+    ("e8", fun () -> Core.Experiment.e8 ());
+    ("e9", fun () -> [ Core.Experiment.e9 () ]);
+        ("e10", fun () -> [ Core.Experiment.e10 () ]);
+        ("e11", fun () -> [ Core.Experiment.e11 () ]);
+        ("e12", fun () -> [ Core.Experiment.e12 () ]);
+        ("e13", fun () -> [ Core.Experiment.e13 () ]) ]
+
+let print_tables names =
+  List.iter
+    (fun (name, f) ->
+      if names = [] || List.mem name names then
+        List.iter (fun t -> Core.Report.print t; print_newline ()) (f ()))
+    experiment_tables
+
+(* --- bechamel subjects --- *)
+
+(* Table-regeneration benches, at reduced sizes so the suite stays fast. *)
+let table_benches =
+  [ Test.make ~name:"table/e1" (Staged.stage (fun () -> Core.Experiment.e1 ~ns:[ 64 ] ()));
+    Test.make ~name:"table/e2"
+      (Staged.stage (fun () -> Core.Experiment.e2 ~ns:[ 32 ] ()));
+    Test.make ~name:"table/e3"
+      (Staged.stage (fun () -> Core.Experiment.e3 ~n:32 ~partial:4 ()));
+    Test.make ~name:"table/e4"
+      (Staged.stage (fun () -> Core.Experiment.e4 ~n:64 ~ks:[ 1; 16; 63 ] ()));
+    Test.make ~name:"table/e5" (Staged.stage (fun () -> Core.Experiment.e5 ~n:32 ()));
+    Test.make ~name:"table/e6" (Staged.stage (fun () -> Core.Experiment.e6 ~ns:[ 32 ] ()));
+    Test.make ~name:"table/e7"
+      (Staged.stage (fun () -> Core.Experiment.e7 ~ns:[ 8 ] ~entries:2 ()));
+    Test.make ~name:"table/e8"
+      (Staged.stage (fun () -> Core.Experiment.e8 ~n:64 ~ks:[ 16 ] ()));
+    Test.make ~name:"table/e9" (Staged.stage (fun () -> Core.Experiment.e9 ~n:32 ()));
+    Test.make ~name:"table/e10"
+      (Staged.stage (fun () -> Core.Experiment.e10 ~ns:[ 8 ] ~entries:2 ()));
+    Test.make ~name:"table/e11"
+      (Staged.stage (fun () ->
+           Core.Experiment.e11 ~n:3 ~seeds:[ 1; 2; 3; 4 ] ()));
+    Test.make ~name:"table/e12"
+      (Staged.stage (fun () -> Core.Experiment.e12 ~n:8 ~capacities:[ 1; 4 ] ()));
+    Test.make ~name:"table/e13"
+      (Staged.stage (fun () -> Core.Experiment.e13 ~n:12 ())) ]
+
+(* Substrate microbenchmarks. *)
+
+let sim_workload n =
+  let open Smr in
+  let ctx = Var.Ctx.create () in
+  let vars =
+    Array.init n (fun i ->
+        Var.Ctx.int ctx ~name:(Printf.sprintf "v%d" i) ~home:(Var.Module i) 0)
+  in
+  let layout = Var.Ctx.freeze ctx in
+  let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n in
+  (sim, vars)
+
+let bench_sim_steps =
+  Test.make ~name:"sim/1000-steps"
+    (Staged.stage (fun () ->
+         let open Smr in
+         let sim, vars = sim_workload 8 in
+         let prog p =
+           Program.map (fun () -> 0)
+             (Program.for_ 1 125 (fun _ ->
+                  Program.Syntax.(
+                    let* v = Program.read vars.(p) in
+                    Program.write vars.(p) (v + 1))))
+         in
+         let sim =
+           List.fold_left
+             (fun sim p -> fst (Sim.run_call sim p ~label:"w" (prog p)))
+             sim
+             (List.init 8 Fun.id)
+         in
+         assert (Sim.clock sim > 1000)))
+
+let bench_snapshot =
+  (* DESIGN.md decision 2: snapshots are O(1) because state is persistent —
+     taking one is just keeping a binding. *)
+  Test.make ~name:"sim/snapshot-and-diverge"
+    (Staged.stage (fun () ->
+         let open Smr in
+         let sim, vars = sim_workload 4 in
+         let sim = fst (Sim.run_call sim 0 ~label:"w" (Program.map (fun () -> 0) (Program.write vars.(0) 1))) in
+         let snapshot = sim in
+         let sim' = fst (Sim.run_call sim 1 ~label:"w" (Program.map (fun () -> 0) (Program.write vars.(1) 1))) in
+         assert (Sim.total_rmrs snapshot <= Sim.total_rmrs sim')))
+
+let bench_erase =
+  Test.make ~name:"sim/erase-replay-64"
+    (Staged.stage (fun () ->
+         let open Smr in
+         let n = 64 in
+         let sim, vars = sim_workload n in
+         let sim =
+           List.fold_left
+             (fun sim p ->
+               fst
+                 (Sim.run_call sim p ~label:"w"
+                    (Program.map (fun () -> 0) (Program.write vars.(p) 1))))
+             sim
+             (List.init n Fun.id)
+         in
+         ignore (Sim.erase sim [ 7 ])))
+
+let bench_peek =
+  (* DESIGN.md decision 1: peeking a pending operation is a pattern match,
+     not a re-execution. *)
+  Test.make ~name:"sim/peek"
+    (Staged.stage
+       (let open Smr in
+        let sim, vars = sim_workload 2 in
+        let sim =
+          Sim.begin_call sim 0 ~label:"w"
+            (Program.map (fun () -> 0) (Program.write vars.(0) 1))
+        in
+        fun () -> assert (Sim.peek sim 0 <> None)))
+
+let bench_adversary_horizon polls =
+  Test.make
+    ~name:(Printf.sprintf "ablate/adversary-stability-polls-%d" polls)
+    (Staged.stage (fun () ->
+         let r =
+           Core.Adversary.run (module Core.Dsm_broadcast) ~n:32
+             ~stability_polls:polls ()
+         in
+         assert (r.Core.Adversary.participants = 1)))
+
+let micro_benches =
+  [ bench_sim_steps; bench_snapshot; bench_erase; bench_peek;
+    bench_adversary_horizon 1; bench_adversary_horizon 3;
+    bench_adversary_horizon 6 ]
+
+let run_benchmarks () =
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let tests = table_benches @ micro_benches in
+  Fmt.pr "== bechamel: wall-clock per regeneration ==@.";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name raw ->
+          match Analyze.one (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instance raw with
+          | ols -> (
+            match Analyze.OLS.estimates ols with
+            | Some [ ns ] -> Fmt.pr "  %-40s %12.0f ns/run@." name ns
+            | Some _ | None -> Fmt.pr "  %-40s (no estimate)@." name)
+          | exception _ -> Fmt.pr "  %-40s (analysis failed)@." name)
+        results)
+    tests
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "bench-only" ] -> run_benchmarks ()
+  | [] ->
+    print_tables [];
+    run_benchmarks ()
+  | names -> print_tables names

@@ -1,0 +1,275 @@
+(* Command-line interface to the library: run algorithms under cost models,
+   unleash the Section 6 adversary, or regenerate experiment tables. *)
+
+open Cmdliner
+
+let model_conv =
+  let parse = function
+    | "dsm" -> Ok `Dsm
+    | "cc-wt" -> Ok `Cc_wt
+    | "cc-wb" -> Ok `Cc_wb
+    | "cc-lfcu" -> Ok `Cc_lfcu
+    | s -> Error (`Msg (Printf.sprintf "unknown model %S (dsm|cc-wt|cc-wb|cc-lfcu)" s))
+  in
+  let print ppf m = Fmt.string ppf (Core.Scenario.model_tag_name m) in
+  Arg.conv (parse, print)
+
+let algo_conv =
+  let parse s =
+    match Core.Experiment.find_algorithm s with
+    | Some a -> Ok a
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown algorithm %S; try `separation list`" s))
+  in
+  let print ppf (module A : Core.Signaling.POLLING) = Fmt.string ppf A.name in
+  Arg.conv (parse, print)
+
+let algo =
+  Arg.(
+    required
+    & opt (some algo_conv) None
+    & info [ "a"; "algorithm" ] ~docv:"NAME" ~doc:"Signaling algorithm to run.")
+
+let model =
+  Arg.(
+    value
+    & opt model_conv `Dsm
+    & info [ "m"; "model" ] ~docv:"MODEL"
+        ~doc:"Cost model: dsm, cc-wt, cc-wb or cc-lfcu.")
+
+let n_arg =
+  Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let print_outcome name model_name (o : Core.Scenario.outcome) =
+  Fmt.pr "%s under %s:@." name model_name;
+  Fmt.pr "  total RMRs        %d@." o.Core.Scenario.total_rmrs;
+  Fmt.pr "  total messages    %d@." o.Core.Scenario.total_messages;
+  Fmt.pr "  participants      %d@." o.Core.Scenario.participants;
+  Fmt.pr "  signaler RMRs     %d@." o.Core.Scenario.signaler_rmrs;
+  Fmt.pr "  max waiter RMRs   %d@." o.Core.Scenario.max_waiter_rmrs;
+  Fmt.pr "  amortized         %.2f@." o.Core.Scenario.amortized;
+  Fmt.pr "  unfinished        %d@." o.Core.Scenario.unfinished_waiters;
+  if o.Core.Scenario.violations = [] then Fmt.pr "  spec 4.1          satisfied@."
+  else
+    List.iter
+      (fun v -> Fmt.pr "  VIOLATION: %a@." Core.Signaling.pp_violation v)
+      o.Core.Scenario.violations
+
+let run_cmd =
+  let waiters =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "k"; "waiters" ] ~docv:"K"
+          ~doc:"Restrict participation to the first $(docv) waiters.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Use a randomized step-level schedule with this seed instead of \
+             the deterministic phased schedule.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Print the history as an ASCII timeline (small runs only).")
+  in
+  let run (module A : Core.Signaling.POLLING) model n waiters seed trace =
+    let cfg = Core.Experiment.config_for (module A) ~n in
+    let o =
+      match seed with
+      | Some seed -> Core.Scenario.run_random (module A) ~model ~cfg ~seed ()
+      | None ->
+        let active_waiters =
+          Option.map (fun k -> List.init k (fun i -> i + 1)) waiters
+        in
+        Core.Scenario.run_phased (module A) ~model ~cfg ?active_waiters ()
+    in
+    print_outcome A.name (Core.Scenario.model_tag_name model) o;
+    if trace then begin
+      Fmt.pr "@.";
+      Smr.Timeline.print o.Core.Scenario.sim
+    end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a signaling algorithm and report RMR accounting.")
+    Term.(const run $ algo $ model $ n_arg $ waiters $ seed $ trace)
+
+let explore_cmd =
+  let waiters =
+    Arg.(
+      value & opt int 2
+      & info [ "k"; "waiters" ] ~docv:"K" ~doc:"Number of waiters.")
+  in
+  let polls =
+    Arg.(
+      value & opt int 2
+      & info [ "polls" ] ~docv:"P" ~doc:"Maximum polls per waiter.")
+  in
+  let cap =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "cap" ] ~docv:"H" ~doc:"Maximum histories to enumerate.")
+  in
+  let run (module A : Core.Signaling.POLLING) n waiters polls cap =
+    let open Smr in
+    let ctx = Var.Ctx.create () in
+    let waiter_pids = List.init waiters (fun i -> i + 1) in
+    let cfg = Core.Signaling.config ~n ~waiters:waiter_pids ~signalers:[ 0 ] in
+    let inst = Core.Signaling.instantiate (module A) ctx cfg in
+    let layout = Var.Ctx.freeze ctx in
+    let scripts =
+      ( 0,
+        Explore.of_list
+          [ (Core.Signaling.signal_label, inst.Core.Signaling.i_signal 0) ] )
+      :: List.map
+           (fun w ->
+             ( w,
+               Explore.repeat ~limit:polls
+                 ~until:(fun r -> r = 1)
+                 (Core.Signaling.poll_label, inst.Core.Signaling.i_poll w) ))
+           waiter_pids
+    in
+    let r =
+      Explore.check ~max_histories:cap ~layout ~model:(Cost_model.dsm layout)
+        ~n ~scripts
+        ~property:(fun sim -> Core.Signaling.check_polling (Sim.calls sim) = [])
+        ()
+    in
+    Fmt.pr "%s: %d histories%s, %s@." A.name r.Explore.histories
+      (if r.Explore.truncated > 0 then
+         Printf.sprintf " (%d spin-truncated)" r.Explore.truncated
+       else "")
+      (if r.Explore.complete then "exhaustive" else "capped");
+    match r.Explore.violation with
+    | None -> Fmt.pr "Specification 4.1 holds on every explored history.@."
+    | Some sim ->
+      Fmt.pr "VIOLATION FOUND:@.";
+      List.iter
+        (fun v -> Fmt.pr "  %a@." Core.Signaling.pp_violation v)
+        (Core.Signaling.check_polling (Sim.calls sim));
+      Smr.Timeline.print sim
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively enumerate every interleaving of a small \
+          configuration and check Specification 4.1.")
+    Term.(const run $ algo $ n_arg $ waiters $ polls $ cap)
+
+let adversary_cmd =
+  let rounds =
+    Arg.(
+      value & opt int 24
+      & info [ "rounds" ] ~docv:"R" ~doc:"Maximum part-1 construction rounds.")
+  in
+  let polls =
+    Arg.(
+      value & opt int 3
+      & info [ "stability-polls" ] ~docv:"P"
+          ~doc:"Solo Poll() calls without an RMR needed to declare a waiter \
+                stable (the Def. 6.8 horizon).")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Print the surviving history as an ASCII timeline (small N).")
+  in
+  let run (module A : Core.Signaling.POLLING) n rounds polls trace =
+    let r =
+      Core.Adversary.run (module A) ~n ~max_rounds:rounds ~stability_polls:polls ()
+    in
+    Fmt.pr "%a" Core.Adversary.pp_result r;
+    if trace then begin
+      Fmt.pr "@.Surviving history:@.";
+      Smr.Timeline.print r.Core.Adversary.final_sim
+    end
+  in
+  Cmd.v
+    (Cmd.info "adversary"
+       ~doc:
+         "Play the Section 6 lower-bound construction against an algorithm \
+          in the DSM model.")
+    Term.(const run $ algo $ n_arg $ rounds $ polls $ trace)
+
+let experiments_cmd =
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NAME"
+          ~doc:"Experiment names (e1..e13); all when omitted.")
+  in
+  let csv =
+    Arg.(
+      value & flag
+      & info [ "csv" ] ~doc:"Emit CSV (header + rows) instead of aligned text.")
+  in
+  let run csv names =
+    let wanted name = names = [] || List.mem name names in
+    List.iter
+      (fun (name, tables) ->
+        if wanted name then
+          List.iter
+            (fun t ->
+              if csv then print_string (Core.Report.to_csv t)
+              else Core.Report.print t;
+              print_newline ())
+            (tables ()))
+      [ ("e1", fun () -> [ Core.Experiment.e1 () ]);
+        ("e2", fun () -> [ Core.Experiment.e2 () ]);
+        ("e3", fun () -> Core.Experiment.e3 ());
+        ("e4", fun () -> [ Core.Experiment.e4 () ]);
+        ("e5", fun () -> [ Core.Experiment.e5 () ]);
+        ("e6", fun () -> [ Core.Experiment.e6 () ]);
+        ("e7", fun () -> [ Core.Experiment.e7 () ]);
+        ("e8", fun () -> Core.Experiment.e8 ());
+        ("e9", fun () -> [ Core.Experiment.e9 () ]);
+        ("e10", fun () -> [ Core.Experiment.e10 () ]);
+        ("e11", fun () -> [ Core.Experiment.e11 () ]);
+        ("e12", fun () -> [ Core.Experiment.e12 () ]);
+        ("e13", fun () -> [ Core.Experiment.e13 () ]) ]
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the claim-derived experiment tables (EXPERIMENTS.md).")
+    Term.(const run $ csv $ names)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "Algorithms:@.";
+    List.iter
+      (fun (module A : Core.Signaling.POLLING) ->
+        Fmt.pr "  %-18s [%s]  %s@." A.name
+          (String.concat ", "
+             (List.map
+                (Fmt.str "%a" Smr.Op.pp_primitive_class)
+                A.primitives))
+          A.description)
+      Core.Experiment.polling_algorithms;
+    Fmt.pr "@.Models: dsm, cc-wt, cc-wb, cc-lfcu@.";
+    Fmt.pr "@.Locks (E7):@.";
+    List.iter
+      (fun (module L : Sync.Mutex_intf.LOCK) -> Fmt.pr "  %s@." L.name)
+      Core.Experiment.locks
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List algorithms, cost models and locks.")
+    Term.(const run $ const ())
+
+let () =
+  let doc =
+    "Reproduction of Golab's CC/DSM amortized-RMR complexity separation \
+     (PODC 2011)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "separation" ~version:"1.0.0" ~doc)
+          [ run_cmd; adversary_cmd; explore_cmd; experiments_cmd; list_cmd ]))

@@ -1,0 +1,76 @@
+(* The wild goose chase, narrated.
+
+   Runs the mechanized Section 6 adversary against two algorithms and
+   explains each phase as it lands:
+
+   - dsm-broadcast uses reads and writes only, so it is inside Theorem
+     6.2's reach: every waiter stabilizes (their polls are local reads),
+     and when the signaler sweeps the flags, the adversary erases each
+     waiter an instant before its flag is written.  The signaler chases
+     geese: N-1 RMRs delivered to processes that, in the surviving history,
+     never existed.  Amortized cost: N-1 over a single participant.
+
+   - dsm-queue registers waiters with Fetch-And-Increment.  Each
+     registration is welded into the counter's value chain, so erasing a
+     registrant changes what every later registrant observed — the replay
+     check refuses, the geese are real, and every RMR the signaler pays is
+     matched by a participant.  Amortized cost: O(1).
+
+   Run with: dune exec examples/goose_chase.exe *)
+
+open Core
+
+let narrate (module A : Signaling.POLLING) ~n =
+  Fmt.pr "=== adversary vs %s (N = %d) ===@." A.name n;
+  Fmt.pr "%s@.@." A.description;
+  let r = Adversary.run (module A) ~n () in
+  if r.Adversary.rounds = [] then
+    Fmt.pr
+      "Part 1 needed no construction rounds: every waiter was stable from \
+       its first step (polling is a local read).@."
+  else begin
+    Fmt.pr "Part 1 (Lemma 6.10) — erase / roll-forward rounds:@.";
+    List.iter (fun s -> Fmt.pr "  %a@." Adversary.pp_round s) r.Adversary.rounds
+  end;
+  Fmt.pr "Stabilized waiters: %d (history regular: %b)@."
+    r.Adversary.stable_waiters r.Adversary.part1_regular;
+  (match r.Adversary.chase with
+  | None -> Fmt.pr "Part 2 did not run (waiters never stabilized).@."
+  | Some c ->
+    Fmt.pr "@.Part 2 (Lemma 6.13) — the chase, signaler p%d:@." c.Adversary.signaler;
+    Fmt.pr "  RMRs paid by the signaler:   %d@." c.Adversary.signaler_rmrs;
+    Fmt.pr "  waiters erased mid-flight:   %d@." c.Adversary.chase_erased;
+    Fmt.pr "  erasures blocked (visible):  %d@." c.Adversary.chase_erase_failures);
+  Fmt.pr "@.Surviving history: %d participants, %d total RMRs -> amortized %.2f@."
+    r.Adversary.participants r.Adversary.total_rmrs r.Adversary.amortized;
+  if r.Adversary.spec_violated then
+    Fmt.pr "A surviving waiter polled FALSE after Signal() completed — the \
+            algorithm is incorrect!@.";
+  Fmt.pr "@."
+
+(* A miniature chase rendered as a timeline: the signaler's remote writes
+   land in modules whose owners were erased from the history an instant
+   earlier, so the surviving record shows a lone process paying RMRs into
+   empty space. *)
+let tiny_timeline () =
+  let r = Adversary.run (module Dsm_broadcast) ~n:4 () in
+  Fmt.pr "A 4-process chase, as a timeline of the SURVIVING history@.";
+  Fmt.pr "(the erased waiters' steps are gone — only the signaler remains):@.";
+  Smr.Timeline.print r.Adversary.final_sim;
+  Fmt.pr "@."
+
+let () =
+  narrate (module Dsm_broadcast) ~n:32;
+  narrate (module Dsm_queue) ~n:32;
+  tiny_timeline ();
+  Fmt.pr
+    "Scaling the read/write victim shows the amortized cost growing \
+     without bound:@.";
+  List.iter
+    (fun n ->
+      let r = Adversary.run (module Dsm_broadcast) ~n () in
+      Fmt.pr "  N=%4d  amortized %.2f@." n r.Adversary.amortized)
+    [ 16; 64; 256 ];
+  Fmt.pr
+    "@.That growth is Theorem 6.2; the queue's flat line is Section 7's \
+     escape through Fetch-And-Increment.@."

@@ -1,0 +1,15 @@
+(** A CAS-based registration algorithm (reads, writes, CAS): registration
+    through a CAS-emulated Fetch-And-Increment.  Inside the primitive class
+    of Corollary 6.14, so O(1) amortized RMRs must be unattainable — the
+    E8a contention schedule forces Θ(k²) RMRs for k registrations. *)
+
+include Signaling.POLLING
+
+val cas_addrs : t -> Smr.Op.addr list
+(** The addresses accessed with CAS (the head counter); what the
+    Corollary 6.14 transformation must protect. *)
+
+(** The algorithm after the Corollary 6.14 reduction: every CAS on the head
+    counter replaced by the lock-mediated reads/writes implementation of
+    {!Sync.Local_cas}.  Histories contain no CAS steps. *)
+module Transformed : Signaling.POLLING

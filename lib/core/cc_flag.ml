@@ -1,0 +1,28 @@
+(* The Section 5 algorithm: one shared Boolean.
+
+   Signal() sets B; Poll() reads it.  Wait-free, reads and writes only, O(1)
+   space.  Under the CC model a waiter's repeated polls are served from its
+   cache and cost one RMR in total until the signaler's write invalidates
+   the copy, plus one more to re-read — O(1) RMRs per process.  Under the
+   DSM model the same code has unbounded RMR complexity: B lives in one
+   module and every other process's poll is remote.  The cross-model
+   experiment (E5) shows exactly this. *)
+
+open Smr
+
+let name = "cc-flag"
+
+let description = "single shared Boolean (Sec. 5); O(1) RMR in CC, unbounded in DSM"
+
+let primitives = [ Op.Reads_writes ]
+
+let flexibility = Signaling.any_flexibility
+
+type t = { flag : bool Var.t }
+
+let create ctx (_ : Signaling.config) =
+  { flag = Var.Ctx.bool ctx ~name:"B" ~home:Var.Shared false }
+
+let signal t _p = Program.write t.flag true
+
+let poll t _p = Program.read t.flag

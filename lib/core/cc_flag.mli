@@ -1,0 +1,5 @@
+(** The Section 5 algorithm: one shared Boolean.  Wait-free, reads/writes
+    only, O(1) space; O(1) RMRs per process in the CC model, unbounded under
+    DSM accounting. *)
+
+include Signaling.POLLING

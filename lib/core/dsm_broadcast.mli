@@ -1,0 +1,6 @@
+(** The read/write broadcast algorithm: Signal() blindly writes every
+    process's local flag, so it solves the hard variant (waiters not fixed)
+    with reads and writes only — and is therefore forced by the Section 6
+    adversary to amortized Θ(N/k) RMRs in DSM (experiment E2). *)
+
+include Signaling.POLLING

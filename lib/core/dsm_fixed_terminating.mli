@@ -1,0 +1,5 @@
+(** Section 7, fixed waiters, terminating variant: the signaler awaits each
+    fixed waiter's participation before flagging it, achieving O(1)
+    amortized RMRs; blocks if a fixed waiter never participates. *)
+
+include Signaling.POLLING

@@ -1,0 +1,42 @@
+(* Section 7, "many waiters, fixed in advance": per-waiter flags.
+
+   V[i] is a Boolean homed in process i's module; Poll() by p_i reads V[i]
+   (always local in DSM — waiters incur zero RMRs), and Signal() writes V[j]
+   for every fixed waiter p_j, costing the signaler O(W) RMRs worst-case.
+   As the paper notes, amortized RMR complexity exceeds O(1) when the
+   signaler pays W RMRs but only o(W) waiters have participated — the
+   precise failure mode the Section 6 adversary industrializes, and the
+   reason [Dsm_broadcast] (this algorithm with W = N) is the adversary's
+   canonical read/write victim. *)
+
+open Smr
+
+let name = "dsm-fixed"
+
+let description =
+  "per-waiter local flags, signaler writes each fixed waiter (Sec. 7); \
+   waiters O(0), signaler O(W) RMRs in DSM"
+
+let primitives = [ Op.Reads_writes ]
+
+let flexibility = { Signaling.any_flexibility with waiters_fixed = true }
+
+type t = { targets : Op.pid list; v : bool Var.t array }
+
+(* Shared with [Dsm_broadcast]: flags for everyone, signal writes the given
+   target list. *)
+let create_targets ctx ~n ~targets =
+  { targets;
+    v =
+      Var.Ctx.bool_array ctx ~name:"V"
+        ~home:(fun i -> Var.Module i)
+        n
+        (fun _ -> false) }
+
+let create ctx (cfg : Signaling.config) =
+  create_targets ctx ~n:cfg.Signaling.n ~targets:cfg.Signaling.waiters
+
+let signal t _p =
+  Program.seq (List.map (fun j -> Program.write t.v.(j) true) t.targets)
+
+let poll t p = Program.read t.v.(p)

@@ -1,0 +1,10 @@
+(** Section 7, "many waiters, fixed in advance": per-waiter local flags; the
+    signaler writes each fixed waiter's flag unconditionally.  Waiters incur
+    zero RMRs in DSM; the signaler pays O(W) worst-case, and amortized cost
+    exceeds O(1) when only o(W) waiters participate. *)
+
+include Signaling.POLLING
+
+val create_targets : Smr.Var.Ctx.ctx -> n:int -> targets:Smr.Op.pid list -> t
+(** Flags for all [n] processes, with Signal() writing exactly [targets];
+    shared with {!Dsm_broadcast} (which targets everyone). *)

@@ -1,0 +1,5 @@
+(** Section 7, blocking semantics, waiters and signaler not fixed: waiters
+    elect a leader that plays the single-waiter protocol and fans the signal
+    out over per-process local-spin cells. *)
+
+include Signaling.BLOCKING

@@ -1,0 +1,6 @@
+(** Section 7, waiters and signaler not fixed: registration through a
+    Fetch-And-Increment queue.  O(1) amortized RMRs in DSM — achievable only
+    because F&I lies outside the primitive class of Theorem 6.2 /
+    Corollary 6.14; the adversary's erasures diverge against it. *)
+
+include Signaling.POLLING

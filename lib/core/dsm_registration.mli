@@ -1,0 +1,6 @@
+(** Section 7, waiters not fixed / one fixed signaler: waiters register in
+    the signaler's own memory module; the signaler scans locally and flags
+    only registered waiters.  O(1) RMRs per waiter, O(k) for the signaler,
+    O(1) amortized. *)
+
+include Signaling.POLLING

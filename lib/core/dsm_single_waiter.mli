@@ -1,0 +1,5 @@
+(** Section 7, "single waiter" (identity not fixed in advance): the W/S
+    handshake with a local forwarding flag; O(1) RMRs per process worst-case
+    in the DSM model. *)
+
+include Signaling.POLLING

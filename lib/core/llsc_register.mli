@@ -1,0 +1,13 @@
+(** An LL/SC-based registration algorithm (reads, writes, LL/SC): the other
+    half of the Corollary 6.14 primitive class.  Structurally identical to
+    {!Cas_register} with the head counter advanced by an LL/SC retry loop;
+    equally subject to the Θ(k²) contention schedule of E8a. *)
+
+include Signaling.POLLING
+
+val llsc_addrs : t -> Smr.Op.addr list
+(** The addresses accessed with LL/SC (the head counter). *)
+
+(** The algorithm after the Corollary 6.14 reduction (LL/SC flavor):
+    histories contain no LL or SC steps. *)
+module Transformed : Signaling.POLLING

@@ -1,0 +1,6 @@
+(** Section 7, many signalers: wrap any polling algorithm so that signalers
+    elect a leader; the winner runs the inner Signal() and raises a
+    completion flag on which losing signalers wait (a Signal() may only
+    return once the signal is observable — Specification 4.1). *)
+
+module Make (Inner : Signaling.POLLING) : Signaling.POLLING

@@ -1,0 +1,53 @@
+(* Aligned text tables for experiment output.
+
+   The experiments print machine-checkable claim/measurement tables; this
+   module keeps the rendering in one place so every experiment reads the
+   same way in the bench log and in EXPERIMENTS.md. *)
+
+type cell = string
+
+type t = { title : string; header : string list; rows : cell list list }
+
+let make ~title ~header rows = { title; header; rows }
+
+let int i = string_of_int i
+
+let float ?(digits = 2) f = Printf.sprintf "%.*f" digits f
+
+let bool b = if b then "yes" else "no"
+
+let widths t =
+  let all = t.header :: t.rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let w = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i c -> w.(i) <- max w.(i) (String.length c)))
+    all;
+  w
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let pp ppf t =
+  let w = widths t in
+  let line cells =
+    let padded = List.mapi (fun i c -> pad w.(i) c) cells in
+    Fmt.pf ppf "  %s@." (String.concat "  " padded)
+  in
+  Fmt.pf ppf "%s@." t.title;
+  line t.header;
+  line (List.map (fun width -> String.make width '-') (Array.to_list w));
+  List.iter line t.rows
+
+let print t = pp Fmt.stdout t
+
+let to_string t = Fmt.str "%a" pp t
+
+(* RFC-4180-ish CSV: quote cells containing separators or quotes. *)
+let csv_cell c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_cell cells) in
+  String.concat "\n" (line t.header :: List.map line t.rows) ^ "\n"

@@ -1,0 +1,18 @@
+(** Aligned text tables for experiment output. *)
+
+type cell = string
+
+type t
+
+val make : title:string -> header:string list -> cell list list -> t
+
+val int : int -> cell
+val float : ?digits:int -> float -> cell
+val bool : bool -> cell
+
+val pp : t Fmt.t
+val print : t -> unit
+val to_string : t -> string
+
+val to_csv : t -> string
+(** Header + rows as CSV (the title is not included), for plotting. *)

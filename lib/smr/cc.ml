@@ -1,0 +1,210 @@
+(* Cache-coherent cost models (paper, Secs. 2 and 8).
+
+   The paper's upper bounds need only a "loose" CC model: once a process has
+   read a location, further reads are local until some other process performs
+   a nontrivial operation on it.  That is exactly the behavior of an ideal
+   invalidation-based cache, which [Write_through] implements.  [Write_back]
+   additionally makes repeated writes by the exclusive owner local, and
+   [Write_update] models the LFCU machines of Anderson & Kim [1] (remote
+   copies are updated rather than invalidated, and a failed comparison
+   primitive applied to a cached copy is local).
+
+   Message accounting follows Section 8: under a [Bus] interconnect any
+   coherence action is one broadcast; under a precise directory an
+   invalidation or update costs one message per remote copy; under a limited
+   directory with [k]-entry sharer lists, a write to a line with more than
+   [k] sharers falls back to broadcasting to all other processors —
+   "superfluous invalidation messages". *)
+
+type protocol = Write_through | Write_back | Write_update
+
+let protocol_name = function
+  | Write_through -> "cc-wt"
+  | Write_back -> "cc-wb"
+  | Write_update -> "cc-lfcu"
+
+type interconnect = Bus | Directory_precise | Directory_limited of int
+
+let interconnect_name = function
+  | Bus -> "bus"
+  | Directory_precise -> "dir"
+  | Directory_limited k -> Printf.sprintf "dir%d" k
+
+module Addr_map = Map.Make (Int)
+module Pid_map = Map.Make (Int)
+
+(* Each process's cache is an MRU-ordered list of addresses, optionally
+   bounded: Section 8 notes that theoretical RMR bounds assume an "ideal"
+   cache that never drops data spuriously, an assumption that fails under
+   finite capacity — [capacity = Some k] models that with LRU eviction
+   (experiment E12 measures the effect). *)
+type state = {
+  caches : Op.addr list Pid_map.t; (* MRU first *)
+  owner : Op.pid Addr_map.t; (* write-back: exclusive (dirty) owner *)
+  capacity : int option;
+}
+
+let empty capacity = { caches = Pid_map.empty; owner = Addr_map.empty; capacity }
+
+let cache_of st pid =
+  match Pid_map.find_opt pid st.caches with Some l -> l | None -> []
+
+let has_copy st pid a = List.mem a (cache_of st pid)
+
+(* Processes other than [pid] holding a copy of [a]. *)
+let remote_holders st pid a =
+  Pid_map.fold
+    (fun q cache acc -> if q <> pid && List.mem a cache then q :: acc else acc)
+    st.caches []
+
+let owner_of st a = Addr_map.find_opt a st.owner
+
+(* Touch [a] in [pid]'s cache: move to MRU position, evicting the LRU line
+   if the capacity bound is hit.  An evicted dirty (owned) line loses its
+   ownership — the writeback itself is charged when the line is next
+   accessed remotely. *)
+let add_copy st pid a =
+  let cache = a :: List.filter (fun b -> b <> a) (cache_of st pid) in
+  let cache, evicted =
+    match st.capacity with
+    | Some cap when List.length cache > cap ->
+      let rec split i = function
+        | [] -> ([], [])
+        | x :: rest ->
+          if i >= cap then ([], x :: rest)
+          else
+            let keep, drop = split (i + 1) rest in
+            (x :: keep, drop)
+      in
+      split 0 cache
+    | Some _ | None -> (cache, [])
+  in
+  let owner =
+    List.fold_left
+      (fun owner b ->
+        match Addr_map.find_opt b owner with
+        | Some q when q = pid -> Addr_map.remove b owner
+        | Some _ | None -> owner)
+      st.owner evicted
+  in
+  { st with caches = Pid_map.add pid cache st.caches; owner }
+
+let drop_copy st pid a =
+  { st with
+    caches = Pid_map.add pid (List.filter (fun b -> b <> a) (cache_of st pid)) st.caches }
+
+(* Messages needed to reach the remote copy holders of [a] (invalidate or
+   update them), given [m] remote copies out of [n] processors. *)
+let coherence_messages interconnect ~n ~m =
+  if m = 0 then 0
+  else
+    match interconnect with
+    | Bus -> 1
+    | Directory_precise -> m
+    | Directory_limited k -> if m <= k then m else n - 1
+
+(* A read miss: one fetch, plus a write-back transfer if a dirty owner holds
+   the line elsewhere. *)
+let miss_messages ~dirty_elsewhere = 1 + if dirty_elsewhere then 1 else 0
+
+type t = {
+  protocol : protocol;
+  interconnect : interconnect;
+  n : int;
+  st : state;
+}
+
+let read_like t pid a =
+  if has_copy t.st pid a then
+    (* A hit still refreshes the line's recency (true LRU). *)
+    ({ t with st = add_copy t.st pid a }, Cost_model.local)
+  else
+    let dirty_elsewhere =
+      match owner_of t.st a with Some q -> q <> pid | None -> false
+    in
+    (* The previous owner's line is downgraded to shared on a read miss. *)
+    let st = { (add_copy t.st pid a) with owner = Addr_map.remove a t.st.owner } in
+    ( { t with st },
+      { Cost_model.rmr = true; messages = miss_messages ~dirty_elsewhere } )
+
+(* A write-like access that must reach memory and kill/update remote copies. *)
+let write_like ~invalidate t pid a =
+  let remote = remote_holders t.st pid a in
+  let m = List.length remote in
+  let base = 1 (* the memory / directory transaction itself *) in
+  let messages = base + coherence_messages t.interconnect ~n:t.n ~m in
+  let st =
+    if invalidate then
+      List.fold_left (fun st q -> drop_copy st q a) t.st remote
+    else t.st (* write-update: remote copies stay valid, refreshed *)
+  in
+  let st = add_copy st pid a in
+  let st =
+    { st with
+      owner =
+        (match t.protocol with
+        | Write_back -> Addr_map.add a pid st.owner
+        | Write_through | Write_update -> Addr_map.remove a st.owner) }
+  in
+  ({ t with st }, { Cost_model.rmr = true; messages })
+
+let account t pid inv ~wrote =
+  let a = Op.addr_of inv in
+  match t.protocol with
+  | Write_through ->
+    if Op.is_read_only inv then read_like t pid a
+    else
+      (* Every mutating primitive must reach memory; a failed comparison
+         still performs the global round trip but invalidates nothing. *)
+      if wrote then write_like ~invalidate:true t pid a
+      else
+        let t, _ = read_like t pid a in
+        (t, { Cost_model.rmr = true; messages = 1 })
+  | Write_back ->
+    if Op.is_read_only inv then read_like t pid a
+    else if owner_of t.st a = Some pid then
+      (* Exclusive owner: the access completes in-cache (and refreshes
+         recency). *)
+      ({ t with st = add_copy t.st pid a }, Cost_model.local)
+    else
+      (* Acquire exclusivity (even for a comparison that then fails: the
+         line must be owned for the atomic to be applied). *)
+      write_like ~invalidate:true t pid a
+  | Write_update ->
+    if Op.is_read_only inv then read_like t pid a
+    else if Op.is_comparison inv && not wrote then
+      (* The defining LFCU feature: a failed comparison primitive applied to
+         a locally cached copy completes locally. *)
+      if has_copy t.st pid a then (t, Cost_model.local) else read_like t pid a
+    else write_like ~invalidate:false t pid a
+
+let predict t pid inv =
+  let a = Op.addr_of inv in
+  match t.protocol with
+  | Write_through ->
+    if Op.is_read_only inv then Some (not (has_copy t.st pid a)) else Some true
+  | Write_back ->
+    if Op.is_read_only inv then Some (not (has_copy t.st pid a))
+    else Some (owner_of t.st a <> Some pid)
+  | Write_update ->
+    if Op.is_read_only inv then Some (not (has_copy t.st pid a))
+    else if Op.is_comparison inv then
+      if has_copy t.st pid a then None (* local iff it fails *) else Some true
+    else Some true
+
+let model ?(protocol = Write_through) ?(interconnect = Bus) ?capacity ~n () =
+  let full_name =
+    Printf.sprintf "%s/%s%s" (protocol_name protocol)
+      (interconnect_name interconnect)
+      (match capacity with
+      | Some c -> Printf.sprintf "/cap%d" c
+      | None -> "")
+  in
+  let rec wrap t =
+    Cost_model.make ~name:full_name
+      ~account:(fun pid inv ~wrote ->
+        let t', cost = account t pid inv ~wrote in
+        (wrap t', cost))
+      ~predict:(fun pid inv -> predict t pid inv)
+  in
+  wrap { protocol; interconnect; n; st = empty capacity }

@@ -1,0 +1,37 @@
+(** Cache-coherent cost models (paper, Sections 2 and 8).
+
+    The paper's CC upper bounds rely on a "loose" model: after a process
+    reads a location, further reads are local until another process performs
+    a nontrivial operation on it.  That is the behavior of an ideal
+    invalidation cache, implemented by {!Write_through}.  {!Write_back}
+    additionally makes repeated writes by the exclusive owner local, and
+    {!Write_update} models the LFCU machines discussed in Section 3 (remote
+    copies are updated in place; a failed comparison primitive applied to a
+    cached copy is local).
+
+    Message accounting follows Section 8's discussion of the "exchange rate"
+    between RMRs and communication: a {!Bus} broadcasts every coherence
+    action (one message); a {!Directory_precise} sends one message per remote
+    copy; a {!Directory_limited} with a [k]-entry sharer list degenerates to
+    broadcast once a line has more than [k] sharers. *)
+
+type protocol = Write_through | Write_back | Write_update
+
+val protocol_name : protocol -> string
+
+type interconnect = Bus | Directory_precise | Directory_limited of int
+
+val interconnect_name : interconnect -> string
+
+val model :
+  ?protocol:protocol ->
+  ?interconnect:interconnect ->
+  ?capacity:int ->
+  n:int ->
+  unit ->
+  Cost_model.t
+(** A fresh CC cost model for an [n]-processor machine with empty caches.
+    Defaults: [Write_through] over a [Bus] with unbounded ("ideal") caches.
+    [capacity] bounds each processor's cache to that many lines with LRU
+    eviction — modeling Section 8's remark that real caches drop data
+    spuriously, so the ideal-cache RMR bounds are underestimates (E12). *)

@@ -1,0 +1,45 @@
+(* Cost models: classify each executed memory operation as local or remote
+   (an RMR) and count the interconnect messages it generates (Sec. 8).
+
+   A model is persistent codata: accounting a step returns the successor
+   model.  Models never influence execution — the values read and written are
+   model-independent — so a single recorded history can be re-accounted under
+   several models (used by the cross-model experiment E5). *)
+
+type step_cost = { rmr : bool; messages : int }
+
+type t = {
+  name : string;
+  account : Op.pid -> Op.invocation -> wrote:bool -> t * step_cost;
+  predict : Op.pid -> Op.invocation -> bool option;
+      (* [Some b]: the next application of this operation by this process is
+         an RMR iff [b], independent of its outcome.  [None]: depends on
+         whether the operation turns out to be nontrivial. *)
+}
+
+let name t = t.name
+let account t pid inv ~wrote = t.account pid inv ~wrote
+let predict t pid inv = t.predict pid inv
+
+let make ~name ~account ~predict = { name; account; predict }
+
+(* DSM (paper, Sec. 2): an access is an RMR iff the address is homed in
+   another processor's memory module.  Classification is purely static, which
+   is what lets the adversary peek at "next RMRs" exactly. *)
+let dsm layout =
+  let is_rmr pid inv =
+    match Var.layout_home layout (Op.addr_of inv) with
+    | Var.Module owner -> owner <> pid
+    | Var.Shared -> true
+  in
+  let rec t =
+    { name = "dsm";
+      account =
+        (fun pid inv ~wrote:_ ->
+          let rmr = is_rmr pid inv in
+          (t, { rmr; messages = (if rmr then 1 else 0) }));
+      predict = (fun pid inv -> Some (is_rmr pid inv)) }
+  in
+  t
+
+let local = { rmr = false; messages = 0 }

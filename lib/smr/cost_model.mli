@@ -1,0 +1,39 @@
+(** Cost models: RMR and message accounting per memory operation.
+
+    A model is a persistent fold over executed steps.  Models never influence
+    execution, only classify it, so a recorded history can be re-accounted
+    under any number of models after the fact (cf. experiment E5). *)
+
+type step_cost = {
+  rmr : bool;  (** the step is a remote memory reference under this model *)
+  messages : int;
+      (** interconnect messages the step generates (Sec. 8 accounting) *)
+}
+
+type t
+
+val name : t -> string
+
+val account : t -> Op.pid -> Op.invocation -> wrote:bool -> t * step_cost
+(** Account one executed operation.  [wrote] reports whether the operation
+    was nontrivial in this execution (e.g. a successful CAS). *)
+
+val predict : t -> Op.pid -> Op.invocation -> bool option
+(** Whether applying this operation next would be an RMR: [Some b] when the
+    classification does not depend on the operation's outcome (always the
+    case in DSM), [None] when it does. *)
+
+val make :
+  name:string ->
+  account:(Op.pid -> Op.invocation -> wrote:bool -> t * step_cost) ->
+  predict:(Op.pid -> Op.invocation -> bool option) ->
+  t
+(** Build a model from its accounting function; the function returns the
+    successor model, making custom models persistent by construction. *)
+
+val dsm : Var.layout -> t
+(** The DSM model: an access is an RMR iff the address lives in another
+    processor's memory module; every RMR is one interconnect message. *)
+
+val local : step_cost
+(** The zero cost of a local step. *)

@@ -1,0 +1,105 @@
+(* Exhaustive interleaving exploration: a small-scope model checker.
+
+   The paper's histories allow arbitrary interleavings; randomized testing
+   samples them, this module enumerates them.  Given a per-process script
+   of procedure calls, [check] drives the machine through every possible
+   step-level interleaving (depth-first over the persistent state — a
+   branch is just a retained binding) and evaluates a property on every
+   complete history.
+
+   Interleavings explode combinatorially, so this is for small
+   configurations (2-3 processes, a handful of steps each); [max_histories]
+   caps the search and the result says whether the enumeration was
+   complete.  Properties over completed histories suffice for safety
+   (Specification 4.1 violations are recorded in the call list and persist
+   to the end of the history). *)
+
+(* What a process does between calls: a PURE function of the machine state
+   (branches share nothing, so stateful closures would corrupt the
+   search).  [None] means the process is done. *)
+type script = Sim.t -> Op.pid -> (string * Op.value Program.t) option
+
+(* A fixed list of calls, performed in order; the per-branch position is
+   recovered from the machine itself (number of calls begun so far). *)
+let of_list calls : script =
+ fun sim p -> List.nth_opt calls (List.length (Sim.calls_of sim p))
+
+(* Repeat a call until its result satisfies [until], at most [limit]
+   times — e.g. "Poll() until it returns true", the history restriction of
+   Section 4. *)
+let repeat ?(limit = max_int) ~until (label, program) : script =
+ fun sim p ->
+  match Sim.last_result sim p with
+  | Some r when until r -> None
+  | Some _ | None ->
+    if List.length (Sim.calls_of sim p) >= limit then None
+    else Some (label, program)
+
+type result = {
+  histories : int; (* complete histories the property was checked on *)
+  truncated : int; (* branches cut at [max_steps_per_history] (spin loops) *)
+  complete : bool; (* false if a cap stopped or truncated the enumeration *)
+  violation : Sim.t option; (* a history falsifying the property *)
+}
+
+let check ?(max_histories = 1_000_000) ?(max_steps_per_history = 500) ~layout
+    ~model ~n ~scripts ~property () =
+  let sim0 = Sim.create ~model ~layout ~n in
+  (* Enabled moves: advance if mid-call, else begin whatever the script
+     asks for next.  A process whose script answers [None] is done. *)
+  let moves sim =
+    List.filter_map
+      (fun ((p : Op.pid), (script : script)) ->
+        match Sim.proc_state sim p with
+        | Sim.Running _ -> Some (p, `Advance)
+        | Sim.Terminated -> None
+        | Sim.Idle -> (
+          match script sim p with
+          | None -> None
+          | Some (label, program) -> Some (p, `Begin (label, program))))
+      scripts
+  in
+  let exception Stop of result in
+  let histories = ref 0 in
+  let truncated = ref 0 in
+  let current () =
+    { histories = !histories; truncated = !truncated; complete = false;
+      violation = None }
+  in
+  let finish sim =
+    (* A leaf: either no moves remain or the branch hit the step bound
+       (a spin loop).  Safety properties over recorded calls hold on
+       truncated prefixes too, so both are checked. *)
+    incr histories;
+    if not (property sim) then
+      raise (Stop { (current ()) with violation = Some sim });
+    if !histories >= max_histories then raise (Stop (current ()))
+  in
+  let rec go sim depth =
+    if depth >= max_steps_per_history then begin
+      incr truncated;
+      finish sim
+    end
+    else
+      match moves sim with
+      | [] -> finish sim
+      | ms ->
+        List.iter
+          (fun (p, m) ->
+            match m with
+            | `Advance -> go (Sim.advance sim p) (depth + 1)
+            | `Begin (label, program) ->
+              go (Sim.begin_call sim p ~label program) (depth + 1))
+          ms
+  in
+  match go sim0 0 with
+  | () ->
+    { histories = !histories; truncated = !truncated;
+      complete = !truncated = 0; violation = None }
+  | exception Stop r -> r
+
+(* Count interleavings without checking anything (sizing aid). *)
+let count ?max_histories ?max_steps_per_history ~layout ~model ~n ~scripts () =
+  (check ?max_histories ?max_steps_per_history ~layout ~model ~n ~scripts
+     ~property:(fun _ -> true) ())
+    .histories

@@ -1,0 +1,53 @@
+(** Exhaustive interleaving exploration — a small-scope model checker.
+
+    Enumerates every step-level interleaving of the given per-process call
+    scripts (the machine's persistent state makes branching free) and
+    checks a property on each complete history.  Use for small
+    configurations; [max_histories] bounds the search. *)
+
+type script = Sim.t -> Op.pid -> (string * Op.value Program.t) option
+(** What a process does when idle: the next call, or [None] when done.
+    Must be a pure function of the machine state — search branches share
+    nothing, so stateful closures would corrupt the enumeration. *)
+
+val of_list : (string * Op.value Program.t) list -> script
+(** Perform exactly these calls, in order. *)
+
+val repeat :
+  ?limit:int -> until:(Op.value -> bool) -> string * Op.value Program.t -> script
+(** Repeat one call until its result satisfies [until] (or [limit] calls
+    have completed) — e.g. "Poll() until it returns true", the history
+    restriction of Section 4. *)
+
+type result = {
+  histories : int;  (** histories (leaves) the property was checked on *)
+  truncated : int;
+      (** branches cut at [max_steps_per_history] — spin loops make some
+          branches infinite; truncated prefixes are still property-checked *)
+  complete : bool;  (** whether every interleaving was fully enumerated *)
+  violation : Sim.t option;  (** a history falsifying the property *)
+}
+
+val check :
+  ?max_histories:int ->
+  ?max_steps_per_history:int ->
+  layout:Var.layout ->
+  model:Cost_model.t ->
+  n:int ->
+  scripts:(Op.pid * script) list ->
+  property:(Sim.t -> bool) ->
+  unit ->
+  result
+(** Checking the property only on complete histories is sufficient for
+    safety properties over recorded calls (violations persist). *)
+
+val count :
+  ?max_histories:int ->
+  ?max_steps_per_history:int ->
+  layout:Var.layout ->
+  model:Cost_model.t ->
+  n:int ->
+  scripts:(Op.pid * script) list ->
+  unit ->
+  int
+(** Number of interleavings, up to the cap. *)

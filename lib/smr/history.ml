@@ -1,0 +1,178 @@
+(* Histories: the record of an execution, and the predicates of Section 6.
+
+   A step records everything the proof's definitions quantify over: which
+   process accessed which address, whether the operation overwrote the cell,
+   whose write it observed ("sees", Def. 6.4), and whose memory module it
+   touched ("touches", Def. 6.5).  Calls record the procedure-call intervals
+   the problem specification (Spec. 4.1) constrains.  Times are drawn from a
+   single logical event clock so that call boundaries and steps are totally
+   ordered. *)
+
+module Pid_set = Set.Make (Int)
+module Pid_map = Map.Make (Int)
+
+type step = {
+  time : int; (* event-clock timestamp *)
+  pid : Op.pid;
+  inv : Op.invocation;
+  response : Op.value;
+  wrote : bool;
+  read_from : Op.pid option; (* last writer observed, if the op reads *)
+  home : Var.home; (* of the accessed address *)
+  rmr : bool; (* under the simulation's primary cost model *)
+  messages : int;
+  call_seq : int; (* ordinal of the enclosing call within its process *)
+}
+
+type call = {
+  c_pid : Op.pid;
+  c_label : string;
+  c_seq : int;
+  c_started : int; (* event-clock time the call began *)
+  c_finished : int option; (* event-clock time it returned, if completed *)
+  c_result : Op.value option;
+  c_rmrs : int; (* RMRs charged to this call (primary model) *)
+  c_steps : int;
+}
+
+let pp_step ppf s =
+  Fmt.pf ppf "[t%04d] p%d %a -> %d%s%s" s.time s.pid Op.pp_invocation s.inv
+    s.response
+    (if s.rmr then " (RMR)" else "")
+    (match s.read_from with
+    | Some q when q <> s.pid -> Printf.sprintf " sees p%d" q
+    | _ -> "")
+
+let pp_call ppf c =
+  Fmt.pf ppf "p%d.%s#%d [%d..%s]%s" c.c_pid c.c_label c.c_seq c.c_started
+    (match c.c_finished with Some t -> string_of_int t | None -> "?")
+    (match c.c_result with Some r -> Printf.sprintf " = %d" r | None -> "")
+
+(* --- Section 6 relations over a (chronological) list of steps --- *)
+
+(* Def. 6.4: p sees q iff p reads a variable last written by q. *)
+let sees steps ~p ~q =
+  List.exists
+    (fun s -> s.pid = p && s.read_from = Some q && q <> p)
+    steps
+
+(* Def. 6.5: p touches q iff p accesses a variable local to q. *)
+let touches steps ~p ~q =
+  p <> q
+  && List.exists (fun s -> s.pid = p && s.home = Var.Module q) steps
+
+let participants steps =
+  List.fold_left (fun acc s -> Pid_set.add s.pid acc) Pid_set.empty steps
+
+(* All (p, q) pairs with p distinct from q such that p sees q. *)
+let all_sees steps =
+  List.filter_map
+    (fun s ->
+      match s.read_from with
+      | Some q when q <> s.pid -> Some (s.pid, q)
+      | _ -> None)
+    steps
+
+let all_touches steps =
+  List.filter_map
+    (fun s ->
+      match s.home with
+      | Var.Module q when q <> s.pid -> Some (s.pid, q)
+      | _ -> None)
+    steps
+
+(* Multi-writer variables and their last writers, for condition 3 of
+   Def. 6.6.  Returns [(addr, last_writer)] for every address written by
+   more than one process. *)
+let multi_writer_last steps =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      if s.wrote then
+        let a = Op.addr_of s.inv in
+        let writers, _ =
+          match Hashtbl.find_opt tbl a with
+          | Some wl -> wl
+          | None -> (Pid_set.empty, s.pid)
+        in
+        Hashtbl.replace tbl a (Pid_set.add s.pid writers, s.pid))
+    steps;
+  Hashtbl.fold
+    (fun a (writers, last) acc ->
+      if Pid_set.cardinal writers > 1 then (a, last) :: acc else acc)
+    tbl []
+
+type irregularity =
+  | Sees_active of Op.pid * Op.pid
+  | Touches_active of Op.pid * Op.pid
+  | Multi_writer_active of Op.addr * Op.pid
+
+let pp_irregularity ppf = function
+  | Sees_active (p, q) -> Fmt.pf ppf "p%d sees active p%d" p q
+  | Touches_active (p, q) -> Fmt.pf ppf "p%d touches active p%d" p q
+  | Multi_writer_active (a, p) ->
+    Fmt.pf ppf "@%d written by several processes, last by active p%d" a p
+
+(* Def. 6.6: a history is regular (w.r.t. the set [fin] of finished
+   processes) iff no process sees or touches an unfinished process, and the
+   last writer of every multi-writer variable is finished. *)
+let irregularities steps ~finished =
+  let from_sees =
+    List.filter_map
+      (fun (p, q) -> if finished q then None else Some (Sees_active (p, q)))
+      (all_sees steps)
+  in
+  let from_touches =
+    List.filter_map
+      (fun (p, q) -> if finished q then None else Some (Touches_active (p, q)))
+      (all_touches steps)
+  in
+  let from_writes =
+    List.filter_map
+      (fun (a, p) ->
+        if finished p then None else Some (Multi_writer_active (a, p)))
+      (multi_writer_last steps)
+  in
+  from_sees @ from_touches @ from_writes
+
+let is_regular steps ~finished = irregularities steps ~finished = []
+
+(* --- per-process accounting --- *)
+
+type tally = { t_steps : int; t_rmrs : int; t_messages : int }
+
+let zero_tally = { t_steps = 0; t_rmrs = 0; t_messages = 0 }
+
+let tally_by_pid steps =
+  List.fold_left
+    (fun acc s ->
+      let t =
+        match Pid_map.find_opt s.pid acc with
+        | Some t -> t
+        | None -> zero_tally
+      in
+      Pid_map.add s.pid
+        { t_steps = t.t_steps + 1;
+          t_rmrs = (t.t_rmrs + if s.rmr then 1 else 0);
+          t_messages = t.t_messages + s.messages }
+        acc)
+    Pid_map.empty steps
+
+let total_rmrs steps =
+  List.fold_left (fun acc s -> acc + if s.rmr then 1 else 0) 0 steps
+
+let total_messages steps = List.fold_left (fun acc s -> acc + s.messages) 0 steps
+
+(* Re-account a history under a different cost model (models are pure folds
+   over steps, so this is exact). *)
+let reaccount model steps =
+  let _, rev =
+    List.fold_left
+      (fun (model, acc) s ->
+        let model, { Cost_model.rmr; messages } =
+          Cost_model.account model s.pid s.inv ~wrote:s.wrote
+        in
+        (model, { s with rmr; messages } :: acc))
+      (model, []) steps
+  in
+  List.rev rev

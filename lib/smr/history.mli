@@ -1,0 +1,83 @@
+(** Histories and the relations of Section 6.
+
+    A history is the chronological list of executed {!step}s plus the
+    procedure-call intervals ({!call}) that the problem specification
+    constrains.  The module implements the paper's definitions: "sees"
+    (Def. 6.4), "touches" (Def. 6.5) and regularity (Def. 6.6). *)
+
+module Pid_set : Set.S with type elt = int
+module Pid_map : Map.S with type key = int
+
+type step = {
+  time : int;  (** logical event-clock timestamp *)
+  pid : Op.pid;
+  inv : Op.invocation;
+  response : Op.value;
+  wrote : bool;  (** the operation was nontrivial *)
+  read_from : Op.pid option;
+      (** last writer whose value the operation observed *)
+  home : Var.home;  (** DSM home of the accessed address *)
+  rmr : bool;  (** RMR under the simulation's primary cost model *)
+  messages : int;
+  call_seq : int;  (** ordinal of the enclosing call within its process *)
+}
+
+type call = {
+  c_pid : Op.pid;
+  c_label : string;
+  c_seq : int;
+  c_started : int;
+  c_finished : int option;
+  c_result : Op.value option;
+  c_rmrs : int;  (** RMRs charged to this call under the primary model *)
+  c_steps : int;
+}
+
+val pp_step : step Fmt.t
+val pp_call : call Fmt.t
+
+val sees : step list -> p:Op.pid -> q:Op.pid -> bool
+(** Definition 6.4: [p] reads a variable last written by [q]. *)
+
+val touches : step list -> p:Op.pid -> q:Op.pid -> bool
+(** Definition 6.5: [p] accesses a variable local to [q]. *)
+
+val participants : step list -> Pid_set.t
+(** Processes that take at least one step. *)
+
+val all_sees : step list -> (Op.pid * Op.pid) list
+(** Every (p, q) pair, p ≠ q, such that a step of [p] observed a value last
+    written by [q]. *)
+
+val all_touches : step list -> (Op.pid * Op.pid) list
+
+val multi_writer_last : step list -> (Op.addr * Op.pid) list
+(** Addresses overwritten by more than one process, with their last writer
+    (condition 3 of Definition 6.6). *)
+
+(** A violation of regularity, for diagnostics. *)
+type irregularity =
+  | Sees_active of Op.pid * Op.pid
+  | Touches_active of Op.pid * Op.pid
+  | Multi_writer_active of Op.addr * Op.pid
+
+val pp_irregularity : irregularity Fmt.t
+
+val irregularities : step list -> finished:(Op.pid -> bool) -> irregularity list
+
+val is_regular : step list -> finished:(Op.pid -> bool) -> bool
+(** Definition 6.6, with [finished] the finished-process predicate. *)
+
+type tally = { t_steps : int; t_rmrs : int; t_messages : int }
+
+val zero_tally : tally
+
+val tally_by_pid : step list -> tally Pid_map.t
+
+val total_rmrs : step list -> int
+
+val total_messages : step list -> int
+
+val reaccount : Cost_model.t -> step list -> step list
+(** Re-classify every step under a fresh cost model; exact because models
+    are pure folds that never influence execution. *)

@@ -1,0 +1,87 @@
+(* Persistent shared memory.
+
+   Besides cell contents the store tracks, per cell: the last process to have
+   performed a nontrivial operation on it (the "sees" relation of Def. 6.4
+   needs it), the set of processes holding a valid load-link on it, and
+   whether more than one process has ever written it (condition 3 of the
+   regularity predicate, Def. 6.6).  Everything is a persistent map so that
+   machine snapshots are O(1). *)
+
+module Addr_map = Map.Make (Int)
+module Pid_set = Set.Make (Int)
+
+type cell = {
+  value : Op.value;
+  last_writer : Op.pid option;
+  links : Pid_set.t; (* processes holding a valid LL on this cell *)
+  writers : Pid_set.t; (* every process that ever overwrote this cell *)
+}
+
+type t = { layout : Var.layout; cells : cell Addr_map.t }
+
+let fresh_cell layout a =
+  { value = Var.layout_init layout a;
+    last_writer = None;
+    links = Pid_set.empty;
+    writers = Pid_set.empty }
+
+let create layout = { layout; cells = Addr_map.empty }
+
+let cell t a =
+  match Addr_map.find_opt a t.cells with
+  | Some c -> c
+  | None -> fresh_cell t.layout a
+
+let get t a = (cell t a).value
+
+let last_writer t a = (cell t a).last_writer
+
+let writers t a = Pid_set.elements (cell t a).writers
+
+let ll_valid t ~pid a = Pid_set.mem pid (cell t a).links
+
+type applied = {
+  memory : t;
+  response : Op.value;
+  wrote : bool; (* the operation was nontrivial in this execution *)
+  read_from : Op.pid option;
+      (* last (nontrivial) writer of the cell if the operation observed the
+         cell's value, i.e. everything except a blind [Write] *)
+}
+
+let apply t ~pid inv =
+  let a = Op.addr_of inv in
+  let c = cell t a in
+  let { Op.response; new_value } =
+    Op.execute ~current:c.value ~ll_valid:(Pid_set.mem pid c.links) inv
+  in
+  let observed_value =
+    match inv with Op.Write _ -> false | _ -> true
+  in
+  let read_from = if observed_value then c.last_writer else None in
+  let c' =
+    match new_value with
+    | None ->
+      (* Trivial operation; an [Ll] additionally records a link. *)
+      (match inv with
+      | Op.Ll _ -> { c with links = Pid_set.add pid c.links }
+      | _ -> c)
+    | Some v ->
+      (* Nontrivial: overwrite, take last-writer, invalidate every link. *)
+      { value = v;
+        last_writer = Some pid;
+        links = Pid_set.empty;
+        writers = Pid_set.add pid c.writers }
+  in
+  { memory = { t with cells = Addr_map.add a c' t.cells };
+    response;
+    wrote = new_value <> None;
+    read_from }
+
+let layout t = t.layout
+
+let dump t =
+  Addr_map.fold
+    (fun a c acc -> (a, c.value) :: acc)
+    t.cells []
+  |> List.rev

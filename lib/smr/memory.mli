@@ -1,0 +1,42 @@
+(** Persistent shared memory with the bookkeeping the Section 6 proof needs.
+
+    The store tracks, per cell: its value, the last process to overwrite it
+    (the "sees" relation of Definition 6.4 reads a variable {e last written}
+    by some process), the processes holding valid load-links, and the set of
+    all processes that ever overwrote it (condition 3 of regularity,
+    Definition 6.6).  All state is persistent: snapshots are O(1). *)
+
+type t
+
+val create : Var.layout -> t
+(** Memory in its initial state: every cell holds its layout-declared initial
+    value and has no writer. *)
+
+val get : t -> Op.addr -> Op.value
+
+val last_writer : t -> Op.addr -> Op.pid option
+(** The process whose nontrivial operation last overwrote the cell, if any. *)
+
+val writers : t -> Op.addr -> Op.pid list
+(** Every process that ever overwrote the cell. *)
+
+val ll_valid : t -> pid:Op.pid -> Op.addr -> bool
+(** Whether [pid]'s load-link on the cell is still valid (no nontrivial
+    operation on the cell since the link was taken). *)
+
+type applied = {
+  memory : t;
+  response : Op.value;
+  wrote : bool;  (** the operation was nontrivial in this execution *)
+  read_from : Op.pid option;
+      (** the cell's last writer, when the operation observed the cell's
+          value (every operation except a blind [Write] does) *)
+}
+
+val apply : t -> pid:Op.pid -> Op.invocation -> applied
+(** Execute one atomic operation. *)
+
+val layout : t -> Var.layout
+
+val dump : t -> (Op.addr * Op.value) list
+(** Cells that have been touched, with their current values (debugging). *)

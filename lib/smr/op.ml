@@ -1,0 +1,105 @@
+(* Atomic operation vocabulary of the shared-memory machine (paper, Sec. 2).
+
+   Every shared variable holds an integer value; Booleans are encoded as 0/1
+   by the typed layer in {!Var}.  An operation is an [invocation] applied by a
+   process to an address; executing it against the current cell contents
+   yields a [value] response and possibly a new cell value.  The distinction
+   between trivial and nontrivial operations ("a nontrivial operation
+   overwrites a memory location, possibly with the same value as before")
+   drives both the CC cost model and the history predicates of Section 6. *)
+
+type pid = int
+
+type addr = int
+
+type value = int
+
+type invocation =
+  | Read of addr
+  | Write of addr * value
+  | Cas of addr * value * value (* expected, update *)
+  | Ll of addr
+  | Sc of addr * value
+  | Faa of addr * value (* fetch-and-add; Fetch-And-Increment is [Faa (a, 1)] *)
+  | Fas of addr * value (* fetch-and-store *)
+  | Tas of addr (* test-and-set: returns old value, stores 1 *)
+
+type kind = K_read | K_write | K_cas | K_ll | K_sc | K_faa | K_fas | K_tas
+
+let kind = function
+  | Read _ -> K_read
+  | Write _ -> K_write
+  | Cas _ -> K_cas
+  | Ll _ -> K_ll
+  | Sc _ -> K_sc
+  | Faa _ -> K_faa
+  | Fas _ -> K_fas
+  | Tas _ -> K_tas
+
+let addr_of = function
+  | Read a | Write (a, _) | Cas (a, _, _) | Ll a | Sc (a, _)
+  | Faa (a, _) | Fas (a, _) | Tas a ->
+    a
+
+(* Operations that never overwrite the cell, regardless of outcome. *)
+let is_read_only = function
+  | Read _ | Ll _ -> true
+  | Write _ | Cas _ | Sc _ | Faa _ | Fas _ | Tas _ -> false
+
+(* Comparison primitives in the sense of [3]: they overwrite only when a
+   condition on the current value holds.  Used by the LFCU cache model, where
+   a failed comparison on a cached copy is local. *)
+let is_comparison = function
+  | Cas _ | Sc _ -> true
+  | Read _ | Write _ | Ll _ | Faa _ | Fas _ | Tas _ -> false
+
+type effect_ = {
+  response : value;
+  new_value : value option; (* [Some v] iff the operation was nontrivial *)
+}
+
+(* Execute an invocation against the current cell [current].  [ll_valid]
+   tells whether the acting process holds a valid load-link on the cell
+   (only consulted by [Sc]). *)
+let execute ~current ~ll_valid = function
+  | Read _ | Ll _ -> { response = current; new_value = None }
+  | Write (_, v) -> { response = 0; new_value = Some v }
+  | Cas (_, expected, update) ->
+    if current = expected then { response = 1; new_value = Some update }
+    else { response = 0; new_value = None }
+  | Sc (_, v) ->
+    if ll_valid then { response = 1; new_value = Some v }
+    else { response = 0; new_value = None }
+  | Faa (_, delta) -> { response = current; new_value = Some (current + delta) }
+  | Fas (_, v) -> { response = current; new_value = Some v }
+  | Tas _ -> { response = current; new_value = Some 1 }
+
+let pp_invocation ppf inv =
+  match inv with
+  | Read a -> Fmt.pf ppf "read @%d" a
+  | Write (a, v) -> Fmt.pf ppf "write @%d <- %d" a v
+  | Cas (a, e, u) -> Fmt.pf ppf "cas @%d (%d -> %d)" a e u
+  | Ll a -> Fmt.pf ppf "ll @%d" a
+  | Sc (a, v) -> Fmt.pf ppf "sc @%d <- %d" a v
+  | Faa (a, d) -> Fmt.pf ppf "faa @%d += %d" a d
+  | Fas (a, v) -> Fmt.pf ppf "fas @%d <- %d" a v
+  | Tas a -> Fmt.pf ppf "tas @%d" a
+
+let show_invocation = Fmt.to_to_string pp_invocation
+
+(* The synchronization-primitive classes discussed in Sections 3, 6 and 7. *)
+type primitive_class =
+  | Reads_writes
+  | Comparison (* CAS, LL/SC: covered by the lower bound via Cor. 6.14 *)
+  | Fetch_and_phi (* FAA/FAI, FAS, TAS: outside the lower bound's reach *)
+
+let primitive_class inv =
+  match kind inv with
+  | K_read | K_write -> Reads_writes
+  | K_cas | K_ll | K_sc -> Comparison
+  | K_faa | K_fas | K_tas -> Fetch_and_phi
+
+let pp_primitive_class ppf = function
+  | Reads_writes -> Fmt.string ppf "reads/writes"
+  | Comparison -> Fmt.string ppf "comparison (CAS, LL/SC)"
+  | Fetch_and_phi -> Fmt.string ppf "fetch-and-phi (FAA, FAS, TAS)"

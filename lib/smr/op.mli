@@ -1,0 +1,71 @@
+(** Atomic operation vocabulary of the simulated shared-memory machine.
+
+    The paper's machine (Section 2) offers atomic reads, writes,
+    Compare-And-Swap and Load-Linked/Store-Conditional; Section 7 additionally
+    discusses Fetch-And-Increment/Add and Fetch-And-Store, and Section 3
+    Test-And-Set.  All of them are represented here.  Cells hold integers;
+    richer types are layered on top by {!Var}. *)
+
+type pid = int
+(** Process identifier; processes are numbered [0 .. n-1]. *)
+
+type addr = int
+(** Address of a shared memory cell, allocated by {!Var.Ctx}. *)
+
+type value = int
+(** Contents of a cell and response of an operation. *)
+
+(** One atomic memory operation. Responses: [Read]/[Ll] return the cell value;
+    [Write] returns [0]; [Cas]/[Sc] return [1] on success and [0] on failure;
+    [Faa]/[Fas]/[Tas] return the previous cell value. *)
+type invocation =
+  | Read of addr
+  | Write of addr * value  (** unconditional overwrite *)
+  | Cas of addr * value * value  (** [Cas (a, expected, update)] *)
+  | Ll of addr  (** load-linked *)
+  | Sc of addr * value  (** store-conditional; succeeds iff the link is valid *)
+  | Faa of addr * value  (** fetch-and-add by a constant delta *)
+  | Fas of addr * value  (** fetch-and-store (swap) *)
+  | Tas of addr  (** test-and-set: fetch old value, store 1 *)
+
+(** Operation kind, forgetting operands. *)
+type kind = K_read | K_write | K_cas | K_ll | K_sc | K_faa | K_fas | K_tas
+
+val kind : invocation -> kind
+
+val addr_of : invocation -> addr
+(** The cell an invocation acts on. *)
+
+val is_read_only : invocation -> bool
+(** [true] iff the operation can never overwrite the cell ([Read], [Ll]). *)
+
+val is_comparison : invocation -> bool
+(** [true] for comparison primitives ([Cas], [Sc]) in the sense of Anderson et
+    al.; these are the primitives for which the LFCU cache model treats a
+    failed application on a cached copy as local. *)
+
+type effect_ = {
+  response : value;  (** the value returned to the invoking process *)
+  new_value : value option;
+      (** [Some v] iff the operation is nontrivial in this execution, i.e. it
+          overwrites the cell (paper, Sec. 2) *)
+}
+
+val execute : current:value -> ll_valid:bool -> invocation -> effect_
+(** Pure semantics of an invocation against cell contents [current].
+    [ll_valid] reports whether the invoking process holds a valid load-link on
+    the cell and is consulted only by [Sc]. *)
+
+val pp_invocation : invocation Fmt.t
+
+val show_invocation : invocation -> string
+
+(** Primitive classes for which the paper states distinct complexity bounds:
+    the DSM lower bound covers [Reads_writes] directly (Thm. 6.2) and
+    [Comparison] via the local-CAS transformation (Cor. 6.14), while
+    [Fetch_and_phi] escapes it (Sec. 7, queue-based solution). *)
+type primitive_class = Reads_writes | Comparison | Fetch_and_phi
+
+val primitive_class : invocation -> primitive_class
+
+val pp_primitive_class : primitive_class Fmt.t

@@ -1,0 +1,111 @@
+(* Process code as a pure value: a free monad over one memory operation per
+   step (paper, Sec. 2: "each step entails a memory access and some local
+   computation").
+
+   Representing programs as values rather than running threads is what makes
+   the Section 6 adversary implementable: the scheduler can pattern-match on a
+   process's continuation to learn its next memory operation without executing
+   it, snapshot the whole machine in O(1), and replay histories to erase
+   processes (Lemma 6.7). *)
+
+type 'a t =
+  | Return of 'a
+  | Step of Op.invocation * (Op.value -> 'a t)
+
+let return x = Return x
+
+let rec bind m f =
+  match m with
+  | Return x -> f x
+  | Step (inv, k) -> Step (inv, fun v -> bind (k v) f)
+
+let map f m = bind m (fun x -> return (f x))
+
+module Syntax = struct
+  let ( let* ) = bind
+  let ( let+ ) m f = map f m
+end
+
+open Syntax
+
+let step inv = Step (inv, fun v -> Return v)
+
+(* Typed operations over Var handles. *)
+
+let read var =
+  let+ v = step (Op.Read (Var.addr var)) in
+  Var.decode var v
+
+let write var x =
+  let+ _ = step (Op.Write (Var.addr var, Var.encode var x)) in
+  ()
+
+let cas var ~expected ~update =
+  let+ r =
+    step
+      (Op.Cas (Var.addr var, Var.encode var expected, Var.encode var update))
+  in
+  r = 1
+
+let load_linked var =
+  let+ v = step (Op.Ll (Var.addr var)) in
+  Var.decode var v
+
+let store_conditional var x =
+  let+ r = step (Op.Sc (Var.addr var, Var.encode var x)) in
+  r = 1
+
+let fetch_and_add var delta =
+  let+ v = step (Op.Faa (Var.addr var, delta)) in
+  v
+
+let fetch_and_increment var = fetch_and_add var 1
+
+let fetch_and_store var x =
+  let+ v = step (Op.Fas (Var.addr var, Var.encode var x)) in
+  Var.decode var v
+
+let test_and_set var =
+  let+ v = step (Op.Tas (Var.addr var)) in
+  v <> 0
+
+(* Control flow. *)
+
+let rec seq = function
+  | [] -> Return ()
+  | m :: rest ->
+    let* () = m in
+    seq rest
+
+let rec for_ lo hi body =
+  if lo > hi then Return ()
+  else
+    let* () = body lo in
+    for_ (lo + 1) hi body
+
+let when_ cond body = if cond then body else Return ()
+
+let rec repeat_until body =
+  let* stop = body in
+  if stop then Return () else repeat_until body
+
+(* Busy-wait until [read var] satisfies [cond]; the canonical spin loop.
+   The loop body is rebuilt lazily, so unbounded waiting costs no memory. *)
+let await var cond =
+  repeat_until
+    (let+ v = read var in
+     cond v)
+
+let rec length_exn ?(fuel = 1_000_000) ~respond m =
+  (* Number of steps [m] takes when responses are produced by [respond];
+     raises if [fuel] is exhausted.  Used by tests to check wait-freedom
+     bounds of straight-line programs. *)
+  match m with
+  | Return _ -> 0
+  | Step (inv, k) ->
+    if fuel = 0 then invalid_arg "Program.length_exn: out of fuel"
+    else 1 + length_exn ~fuel:(fuel - 1) ~respond (k (respond inv))
+
+let next_invocation = function
+  | Return _ -> None
+  | Step (inv, _) -> Some inv

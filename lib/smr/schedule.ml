@@ -1,0 +1,164 @@
+(* Scheduling drivers.
+
+   The paper's histories allow arbitrary interleavings ("process steps can be
+   scheduled arbitrarily", Sec. 2).  This module runs a set of processes,
+   each described by a behavior function that decides — whenever the process
+   is between calls — which procedure to call next, under a chosen
+   interleaving policy.  Random policies are seeded and therefore
+   reproducible; the adversary of Section 6 does not use this module (it
+   constructs its schedule by hand). *)
+
+type action =
+  | Start of string * Op.value Program.t (* begin this call *)
+  | Pause (* stay idle for now; may be asked again later *)
+  | Stop (* terminate *)
+
+type behavior = Sim.t -> Op.pid -> action
+
+type policy =
+  | Round_robin
+  | Random_seed of int
+  | Fixed of Op.pid list (* poke processes in exactly this order *)
+  | Semi_sync of { delta : int; seed : int }
+      (* the semi-synchronous model of Sec. 3: consecutive steps of the
+         same (runnable) process are at most [delta] scheduling ticks
+         apart — otherwise random *)
+
+let policy_name = function
+  | Round_robin -> "round-robin"
+  | Random_seed s -> Printf.sprintf "random(seed=%d)" s
+  | Fixed _ -> "fixed"
+  | Semi_sync { delta; seed } -> Printf.sprintf "semi-sync(delta=%d,seed=%d)" delta seed
+
+(* Poke one process: advance it if mid-call, otherwise consult its behavior.
+   Returns [None] if the process cannot make progress right now. *)
+let poke behavior sim p =
+  match Sim.proc_state sim p with
+  | Sim.Running _ -> Some (Sim.advance sim p)
+  | Sim.Terminated -> None
+  | Sim.Idle -> (
+    match behavior sim p with
+    | Start (label, program) -> Some (Sim.begin_call sim p ~label program)
+    | Stop -> Some (Sim.terminate sim p)
+    | Pause -> None)
+
+let run ?(max_events = 1_000_000) ~policy ~behavior ~pids sim =
+  match policy with
+  | Fixed order ->
+    List.fold_left
+      (fun sim p -> match poke behavior sim p with Some sim' -> sim' | None -> sim)
+      sim order
+  | Round_robin ->
+    let rec loop sim budget =
+      if budget <= 0 then sim
+      else
+        let progressed, sim =
+          List.fold_left
+            (fun (progressed, sim) p ->
+              match poke behavior sim p with
+              | Some sim' -> (true, sim')
+              | None -> (progressed, sim))
+            (false, sim) pids
+        in
+        if progressed then loop sim (budget - List.length pids) else sim
+    in
+    loop sim max_events
+  | Semi_sync { delta; seed } ->
+    let rng = Random.State.make [| seed |] in
+    (* Staleness = ticks since the process last made progress; a process
+       whose staleness reaches [delta] is scheduled before anyone else,
+       enforcing the model's step-gap bound. *)
+    let rec loop sim budget staleness =
+      let runnable =
+        List.filter (fun p -> not (Sim.is_terminated sim p)) pids
+      in
+      if budget <= 0 || runnable = [] then sim
+      else
+        let stale p =
+          Option.value ~default:0 (List.assoc_opt p staleness)
+        in
+        let overdue =
+          List.filter (fun p -> stale p >= delta - 1 && Sim.is_running sim p) runnable
+        in
+        let pick =
+          match overdue with
+          | p :: _ -> p
+          | [] -> List.nth runnable (Random.State.int rng (List.length runnable))
+        in
+        (match poke behavior sim pick with
+        | Some sim' ->
+          let staleness =
+            List.map
+              (fun p -> (p, if p = pick then 0 else stale p + 1))
+              runnable
+          in
+          loop sim' (budget - 1) staleness
+        | None ->
+          (* The pick is paused (so nobody was overdue).  Sweep once to
+             find anyone that can progress; a fruitless sweep ends the
+             run. *)
+          let progressed, sim =
+            List.fold_left
+              (fun (progressed, sim) p ->
+                match progressed with
+                | Some _ -> (progressed, sim)
+                | None -> (
+                  match poke behavior sim p with
+                  | Some sim' -> (Some p, sim')
+                  | None -> (None, sim)))
+              (None, sim)
+              (List.filter (fun p -> p <> pick) runnable)
+          in
+          (match progressed with
+          | Some q ->
+            let staleness =
+              List.map (fun p -> (p, if p = q then 0 else stale p + 1)) runnable
+            in
+            loop sim (budget - 1) staleness
+          | None -> sim))
+    in
+    loop sim max_events (List.map (fun p -> (p, 0)) pids)
+  | Random_seed seed ->
+    let rng = Random.State.make [| seed |] in
+    let rec loop sim budget stuck =
+      let runnable =
+        List.filter (fun p -> not (Sim.is_terminated sim p)) pids
+      in
+      if budget <= 0 || runnable = [] then sim
+      else if stuck > 2 * List.length runnable then
+        (* Many consecutive failed pokes: sweep every runnable process once
+           to decide whether anyone can still progress.  (A behavior must
+           not mutate its own state when it answers [Pause].) *)
+        let progressed, sim =
+          List.fold_left
+            (fun (progressed, sim) p ->
+              if progressed then (progressed, sim)
+              else
+                match poke behavior sim p with
+                | Some sim' -> (true, sim')
+                | None -> (false, sim))
+            (false, sim) runnable
+        in
+        if progressed then loop sim (budget - 1) 0 else sim
+      else
+        let p = List.nth runnable (Random.State.int rng (List.length runnable)) in
+        match poke behavior sim p with
+        | Some sim' -> loop sim' (budget - 1) 0
+        | None -> loop sim budget (stuck + 1)
+    in
+    loop sim max_events 0
+
+(* A behavior combinator: perform the given calls in order, then stop. *)
+let script calls =
+  let remaining = Hashtbl.create 16 in
+  fun (_ : Sim.t) p ->
+    let todo =
+      match Hashtbl.find_opt remaining p with
+      | Some l -> l
+      | None -> (match List.assoc_opt p calls with Some l -> l | None -> [])
+    in
+    match todo with
+    | [] -> Stop
+    | (label, program) :: rest ->
+      Hashtbl.replace remaining p rest;
+      Start (label, program)

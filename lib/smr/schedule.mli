@@ -1,0 +1,42 @@
+(** Scheduling drivers for arbitrary interleavings (paper, Section 2).
+
+    Each process is described by a {!behavior}: whenever the process is
+    between calls, the behavior decides which procedure it calls next (or
+    that it pauses or terminates).  The driver interleaves the processes
+    under a {!policy}; random policies are seeded and reproducible. *)
+
+(** Decision taken by an idle process. *)
+type action =
+  | Start of string * Op.value Program.t
+  | Pause  (** stay idle for now; the driver may ask again later *)
+  | Stop  (** terminate *)
+
+type behavior = Sim.t -> Op.pid -> action
+
+type policy =
+  | Round_robin
+  | Random_seed of int  (** uniformly random pokes from a seeded PRNG *)
+  | Fixed of Op.pid list  (** poke processes in exactly this order *)
+  | Semi_sync of { delta : int; seed : int }
+      (** the semi-synchronous model (paper, Sec. 3): consecutive steps of
+          the same mid-call process are at most [delta] scheduling ticks
+          apart, otherwise random.  A process that executes [delta] local
+          steps therefore knows that every other mid-call process has taken
+          at least one step meanwhile — the premise of timing-based
+          algorithms like Fischer's lock. *)
+
+val policy_name : policy -> string
+
+val run :
+  ?max_events:int ->
+  policy:policy ->
+  behavior:behavior ->
+  pids:Op.pid list ->
+  Sim.t ->
+  Sim.t
+(** Drive the machine until every process has terminated, every process
+    pauses, or [max_events] scheduling decisions have been spent. *)
+
+val script : (Op.pid * (string * Op.value Program.t) list) list -> behavior
+(** A behavior that makes each process perform the listed calls in order and
+    then stop.  Stateful: build a fresh script per run. *)

@@ -1,0 +1,366 @@
+(* The simulated multiprocessor.
+
+   State is fully persistent: advancing the machine returns a new machine,
+   so snapshots (needed by the stability check of Def. 6.8) are free, and
+   branching explorations (the adversary's trial erasures) cost nothing.
+
+   Every state-changing action is also appended to a replayable trace.  The
+   trace is the history in the proof's sense: erasing a process (Lemma 6.7)
+   is implemented as replaying the trace without that process's events.  If
+   the erased process was visible to a survivor — i.e. the history minus the
+   process is not a legal history of the algorithm — replay detects the
+   divergence and reports it instead of silently producing garbage. *)
+
+module Pid_map = Map.Make (Int)
+module Pid_set = Set.Make (Int)
+
+type run = {
+  program : Op.value Program.t;
+  label : string;
+  seq : int;
+  started : int;
+  run_rmrs : int;
+  run_steps : int;
+}
+
+type proc_state = Idle | Running of run | Terminated
+
+type event =
+  | E_begin of Op.pid * string * Op.value Program.t
+  | E_advance of Op.pid
+  | E_terminate of Op.pid
+  | E_crash of Op.pid
+
+type t = {
+  n : int;
+  layout : Var.layout;
+  mem : Memory.t;
+  model : Cost_model.t;
+  model0 : Cost_model.t; (* pristine model, for replay *)
+  procs : proc_state Pid_map.t;
+  clock : int;
+  steps_rev : History.step list;
+  calls_rev : History.call list;
+  trace_rev : event list;
+  participated : Pid_set.t;
+  rmr_by_pid : int Pid_map.t;
+  steps_by_pid : int Pid_map.t;
+  seq_by_pid : int Pid_map.t; (* next call ordinal per process *)
+}
+
+exception Replay_divergence of { pid : Op.pid; time : int; detail : string }
+
+let create ~model ~layout ~n =
+  { n;
+    layout;
+    mem = Memory.create layout;
+    model;
+    model0 = model;
+    procs = Pid_map.empty;
+    clock = 0;
+    steps_rev = [];
+    calls_rev = [];
+    trace_rev = [];
+    participated = Pid_set.empty;
+    rmr_by_pid = Pid_map.empty;
+    steps_by_pid = Pid_map.empty;
+    seq_by_pid = Pid_map.empty }
+
+let n t = t.n
+let layout t = t.layout
+let memory t = t.mem
+let clock t = t.clock
+
+let proc_state t p =
+  match Pid_map.find_opt p t.procs with Some st -> st | None -> Idle
+
+let is_idle t p = proc_state t p = Idle
+let is_terminated t p = proc_state t p = Terminated
+
+let is_running t p =
+  match proc_state t p with Running _ -> true | Idle | Terminated -> false
+
+let steps t = List.rev t.steps_rev
+
+(* Completed and crashed calls, in completion order, followed by calls
+   still in flight (begun but unfinished).  Including pending calls
+   matters: Specification 4.1 quantifies over calls that have *begun*
+   (e.g. a Poll may return true as soon as some Signal has begun, even if
+   that Signal never completes). *)
+let calls t =
+  let pending =
+    Pid_map.fold
+      (fun p st acc ->
+        match st with
+        | Running r ->
+          { History.c_pid = p;
+            c_label = r.label;
+            c_seq = r.seq;
+            c_started = r.started;
+            c_finished = None;
+            c_result = None;
+            c_rmrs = r.run_rmrs;
+            c_steps = r.run_steps }
+          :: acc
+        | Idle | Terminated -> acc)
+      t.procs []
+  in
+  List.rev_append t.calls_rev pending
+
+let participants t = t.participated
+
+let peek t p =
+  match proc_state t p with
+  | Running r -> Program.next_invocation r.program
+  | Idle | Terminated -> None
+
+(* Whether p's next operation would be an RMR; [None] when p has no pending
+   operation or the classification depends on the operation's outcome. *)
+let next_is_rmr t p =
+  match peek t p with
+  | None -> None
+  | Some inv -> Cost_model.predict t.model p inv
+
+let tick t = { t with clock = t.clock + 1 }
+
+let find_count map p =
+  match Pid_map.find_opt p map with Some v -> v | None -> 0
+
+let complete_call t p (r : run) result =
+  let t = tick t in
+  let call =
+    { History.c_pid = p;
+      c_label = r.label;
+      c_seq = r.seq;
+      c_started = r.started;
+      c_finished = Some (t.clock - 1);
+      c_result = Some result;
+      c_rmrs = r.run_rmrs;
+      c_steps = r.run_steps }
+  in
+  { t with
+    procs = Pid_map.add p Idle t.procs;
+    calls_rev = call :: t.calls_rev }
+
+(* Internal: perform a begin without recording a trace event (replay uses
+   this too, via the shared implementation with [record] = false). *)
+let begin_call_gen ~record t p ~label program =
+  (match proc_state t p with
+  | Idle -> ()
+  | Running _ -> invalid_arg "Sim.begin_call: process already in a call"
+  | Terminated -> invalid_arg "Sim.begin_call: process terminated");
+  let t =
+    if record then { t with trace_rev = E_begin (p, label, program) :: t.trace_rev }
+    else t
+  in
+  let t = tick t in
+  let seq = find_count t.seq_by_pid p in
+  let t =
+    { t with
+      participated = Pid_set.add p t.participated;
+      seq_by_pid = Pid_map.add p (seq + 1) t.seq_by_pid }
+  in
+  let r =
+    { program; label; seq; started = t.clock - 1; run_rmrs = 0; run_steps = 0 }
+  in
+  match program with
+  | Program.Return v -> complete_call t p r v
+  | Program.Step _ -> { t with procs = Pid_map.add p (Running r) t.procs }
+
+let advance_gen ~record ?(check : Op.value option) t p =
+  let r =
+    match proc_state t p with
+    | Running r -> r
+    | Idle -> invalid_arg "Sim.advance: process is idle"
+    | Terminated -> invalid_arg "Sim.advance: process terminated"
+  in
+  match r.program with
+  | Program.Return _ -> assert false (* begin/advance never leave a Return *)
+  | Program.Step (inv, k) ->
+    let t =
+      if record then { t with trace_rev = E_advance p :: t.trace_rev } else t
+    in
+    let { Memory.memory; response; wrote; read_from } =
+      Memory.apply t.mem ~pid:p inv
+    in
+    (match check with
+    | Some expected when expected <> response ->
+      raise
+        (Replay_divergence
+           { pid = p;
+             time = t.clock;
+             detail =
+               Printf.sprintf "%s responded %d, originally %d"
+                 (Op.show_invocation inv) response expected })
+    | _ -> ());
+    let model, { Cost_model.rmr; messages } =
+      Cost_model.account t.model p inv ~wrote
+    in
+    let t = tick { t with mem = memory; model } in
+    let step =
+      { History.time = t.clock - 1;
+        pid = p;
+        inv;
+        response;
+        wrote;
+        read_from;
+        home = Var.layout_home t.layout (Op.addr_of inv);
+        rmr;
+        messages;
+        call_seq = r.seq }
+    in
+    let r =
+      { r with
+        run_rmrs = (r.run_rmrs + if rmr then 1 else 0);
+        run_steps = r.run_steps + 1 }
+    in
+    let t =
+      { t with
+        steps_rev = step :: t.steps_rev;
+        rmr_by_pid =
+          (if rmr then Pid_map.add p (find_count t.rmr_by_pid p + 1) t.rmr_by_pid
+           else t.rmr_by_pid);
+        steps_by_pid = Pid_map.add p (find_count t.steps_by_pid p + 1) t.steps_by_pid }
+    in
+    (match k response with
+    | Program.Return v -> complete_call t p { r with program = Program.Return v } v
+    | Program.Step _ as program ->
+      { t with procs = Pid_map.add p (Running { r with program }) t.procs })
+
+let begin_call t p ~label program = begin_call_gen ~record:true t p ~label program
+
+let advance t p = advance_gen ~record:true t p
+
+let terminate t p =
+  (match proc_state t p with
+  | Idle -> ()
+  | Running _ -> invalid_arg "Sim.terminate: process mid-call"
+  | Terminated -> invalid_arg "Sim.terminate: already terminated");
+  let t = { t with trace_rev = E_terminate p :: t.trace_rev } in
+  let t = tick t in
+  { t with procs = Pid_map.add p Terminated t.procs }
+
+(* A crash: the process stops taking steps, possibly mid-call (paper,
+   Sec. 2: "a process crashes if it terminates while performing a procedure
+   call").  The interrupted call is recorded as begun-but-unfinished, which
+   is exactly how Specification 4.1 treats it: never judged. *)
+let crash_gen ~record t p =
+  let t = if record then { t with trace_rev = E_crash p :: t.trace_rev } else t in
+  let t = tick t in
+  let t =
+    match proc_state t p with
+    | Idle | Terminated -> t
+    | Running r ->
+      let call =
+        { History.c_pid = p;
+          c_label = r.label;
+          c_seq = r.seq;
+          c_started = r.started;
+          c_finished = None;
+          c_result = None;
+          c_rmrs = r.run_rmrs;
+          c_steps = r.run_steps }
+      in
+      { t with calls_rev = call :: t.calls_rev }
+  in
+  { t with procs = Pid_map.add p Terminated t.procs }
+
+let crash t p = crash_gen ~record:true t p
+
+let rec run_to_idle ?(fuel = 1_000_000) t p =
+  match proc_state t p with
+  | Idle | Terminated -> t
+  | Running _ ->
+    if fuel = 0 then failwith "Sim.run_to_idle: out of fuel"
+    else run_to_idle ~fuel:(fuel - 1) (advance t p) p
+
+let run_call ?fuel t p ~label program =
+  let t = begin_call t p ~label program in
+  let t = run_to_idle ?fuel t p in
+  match t.calls_rev with
+  | c :: _ when c.History.c_pid = p -> (t, Option.get c.History.c_result)
+  | _ -> assert false
+
+(* --- accounting views --- *)
+
+let rmrs t p = find_count t.rmr_by_pid p
+
+let total_rmrs t = History.total_rmrs t.steps_rev
+
+let total_messages t = History.total_messages t.steps_rev
+
+let step_count t p = find_count t.steps_by_pid p
+
+let last_result t p =
+  List.find_map
+    (fun (c : History.call) -> if c.c_pid = p then c.History.c_result else None)
+    t.calls_rev
+
+let calls_of t p =
+  List.rev
+    (List.filter (fun (c : History.call) -> c.History.c_pid = p) t.calls_rev)
+
+(* --- replay / erasure (Lemma 6.7) --- *)
+
+let trace t = List.rev t.trace_rev
+
+(* Original responses per surviving process, in program order, to validate
+   replay against. *)
+let responses_by_pid t keep =
+  List.fold_left
+    (fun acc (s : History.step) ->
+      if keep s.pid then
+        Pid_map.update s.pid
+          (function None -> Some [ s.response ] | Some l -> Some (s.response :: l))
+          acc
+      else acc)
+    Pid_map.empty t.steps_rev
+(* steps_rev is reverse-chronological, so the accumulated lists come out in
+   chronological order. *)
+
+let replay ?(check = true) ~keep t =
+  let expected = if check then responses_by_pid t keep else Pid_map.empty in
+  let fresh = create ~model:t.model0 ~layout:t.layout ~n:t.n in
+  let step_one (sim, exp) ev =
+    match ev with
+    | E_begin (p, label, program) ->
+      if keep p then (begin_call_gen ~record:true sim p ~label program, exp)
+      else (sim, exp)
+    | E_advance p ->
+      if not (keep p) then (sim, exp)
+      else if not check then (advance_gen ~record:true sim p, exp)
+      else (
+        match Pid_map.find_opt p exp with
+        | Some (v :: rest) ->
+          ( advance_gen ~record:true ~check:v sim p,
+            Pid_map.add p rest exp )
+        | Some [] | None ->
+          (* More steps than the original had; impossible since the trace is
+             a prefix-faithful copy. *)
+          assert false)
+    | E_terminate p -> if keep p then (terminate sim p, exp) else (sim, exp)
+    | E_crash p -> if keep p then (crash_gen ~record:true sim p, exp) else (sim, exp)
+  in
+  let sim, _ = List.fold_left step_one (fresh, expected) (trace t) in
+  sim
+
+let erase t pids =
+  let doomed = Pid_set.of_list pids in
+  replay ~check:true ~keep:(fun p -> not (Pid_set.mem p doomed)) t
+
+let can_erase t pids =
+  match erase t pids with
+  | (_ : t) -> true
+  | exception Replay_divergence _ -> false
+
+let pp_proc_state ppf = function
+  | Idle -> Fmt.string ppf "idle"
+  | Terminated -> Fmt.string ppf "terminated"
+  | Running r -> Fmt.pf ppf "in %s#%d (%d steps)" r.label r.seq r.run_steps
+
+let pp ppf t =
+  Fmt.pf ppf "sim: n=%d clock=%d steps=%d rmrs=%d@." t.n t.clock
+    (List.length t.steps_rev) (total_rmrs t);
+  Pid_set.iter
+    (fun p -> Fmt.pf ppf "  p%d: %a@." p pp_proc_state (proc_state t p))
+    t.participated

@@ -1,0 +1,72 @@
+(* ASCII rendering of a history: one column per process, one row per
+   event-clock tick that carries an event.  Meant for the examples and the
+   CLI's --trace flag on small runs; a long history renders long.
+
+   Cell vocabulary:  r7/w7/c7/L7/S7/F7/X7/T7 = read/write/cas/ll/sc/faa/
+   fas/tas on address 7, suffixed with '*' when the step is an RMR under
+   the run's primary model; '(label' = call begin; ')=v' = call return;
+   '#' = termination or crash. *)
+
+let op_letter inv =
+  match Op.kind inv with
+  | Op.K_read -> "r"
+  | Op.K_write -> "w"
+  | Op.K_cas -> "c"
+  | Op.K_ll -> "L"
+  | Op.K_sc -> "S"
+  | Op.K_faa -> "F"
+  | Op.K_fas -> "X"
+  | Op.K_tas -> "T"
+
+let step_cell (s : History.step) =
+  Printf.sprintf "%s%d%s" (op_letter s.History.inv)
+    (Op.addr_of s.History.inv)
+    (if s.History.rmr then "*" else "")
+
+let render ?(width = 9) sim =
+  let n = Sim.n sim in
+  let cells = Hashtbl.create 256 in
+  let put time pid text =
+    (* Later writers win; begin/end cells never collide with steps because
+       each tick carries exactly one event. *)
+    Hashtbl.replace cells (time, pid) text
+  in
+  List.iter
+    (fun (s : History.step) -> put s.History.time s.History.pid (step_cell s))
+    (Sim.steps sim);
+  List.iter
+    (fun (c : History.call) ->
+      put c.History.c_started c.History.c_pid ("(" ^ c.History.c_label);
+      match (c.History.c_finished, c.History.c_result) with
+      | Some t, Some v -> put t c.History.c_pid (Printf.sprintf ")=%d" v)
+      | Some t, None -> put t c.History.c_pid ")"
+      | None, _ -> ())
+    (Sim.calls sim);
+  let buf = Buffer.create 1024 in
+  let pad s =
+    let s = if String.length s > width then String.sub s 0 width else s in
+    s ^ String.make (width - String.length s) ' '
+  in
+  Buffer.add_string buf (pad "t");
+  for p = 0 to n - 1 do
+    Buffer.add_string buf (pad (Printf.sprintf "p%d" p))
+  done;
+  Buffer.add_char buf '\n';
+  for t = 0 to Sim.clock sim - 1 do
+    let row =
+      List.filter_map
+        (fun p -> Hashtbl.find_opt cells (t, p) |> Option.map (fun c -> (p, c)))
+        (List.init n Fun.id)
+    in
+    if row <> [] then begin
+      Buffer.add_string buf (pad (string_of_int t));
+      for p = 0 to n - 1 do
+        Buffer.add_string buf
+          (pad (match List.assoc_opt p row with Some c -> c | None -> "."))
+      done;
+      Buffer.add_char buf '\n'
+    end
+  done;
+  Buffer.contents buf
+
+let print ?width sim = print_string (render ?width sim)

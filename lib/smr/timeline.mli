@@ -1,0 +1,11 @@
+(** ASCII rendering of a history: one column per process, one row per
+    event-carrying tick.  For small runs (examples, CLI traces).
+
+    Cells: [r7]/[w7]/[c7]/[L7]/[S7]/[F7]/[X7]/[T7] are
+    read/write/CAS/LL/SC/FAA/FAS/TAS on address 7, with a [*] suffix when
+    the step was an RMR under the run's primary model; [(label] begins a
+    call and [)=v] returns from it. *)
+
+val render : ?width:int -> Sim.t -> string
+
+val print : ?width:int -> Sim.t -> unit

@@ -1,0 +1,106 @@
+(* Typed handles over shared memory cells, and the allocation context that
+   assigns addresses, DSM homes and initial values.
+
+   In the DSM model every variable lives in exactly one memory module
+   (paper, Sec. 1-2).  A module either belongs to a process ([Module i]) or is
+   a detached "shared" module remote to every process ([Shared]); the latter
+   models globally allocated cells such as the counter of a shared queue.  In
+   the CC model homes are irrelevant: any cell can be cached anywhere. *)
+
+type home = Module of Op.pid | Shared
+
+let pp_home ppf = function
+  | Module i -> Fmt.pf ppf "module(p%d)" i
+  | Shared -> Fmt.string ppf "shared"
+
+type 'a t = {
+  addr : Op.addr;
+  name : string;
+  home : home;
+  encode : 'a -> Op.value;
+  decode : Op.value -> 'a;
+}
+
+let addr v = v.addr
+let name v = v.name
+let home v = v.home
+let encode v x = v.encode x
+let decode v x = v.decode x
+
+module Addr_map = Map.Make (Int)
+
+type layout = {
+  homes : home Addr_map.t;
+  inits : Op.value Addr_map.t;
+  names : string Addr_map.t;
+  size : int;
+}
+
+let layout_home layout a =
+  match Addr_map.find_opt a layout.homes with
+  | Some h -> h
+  | None -> Shared
+
+let layout_init layout a =
+  match Addr_map.find_opt a layout.inits with Some v -> v | None -> 0
+
+let layout_name layout a =
+  match Addr_map.find_opt a layout.names with
+  | Some s -> s
+  | None -> Printf.sprintf "@%d" a
+
+let layout_size layout = layout.size
+
+let layout_addrs layout =
+  Addr_map.fold (fun a _ acc -> a :: acc) layout.homes [] |> List.rev
+
+module Ctx = struct
+  type ctx = {
+    mutable next : Op.addr;
+    mutable homes : home Addr_map.t;
+    mutable inits : Op.value Addr_map.t;
+    mutable names : string Addr_map.t;
+  }
+
+  type nonrec 'a t = 'a t
+
+  let create () =
+    { next = 0;
+      homes = Addr_map.empty;
+      inits = Addr_map.empty;
+      names = Addr_map.empty }
+
+  let alloc ctx ~name ~home ~encode ~decode init =
+    let addr = ctx.next in
+    ctx.next <- addr + 1;
+    ctx.homes <- Addr_map.add addr home ctx.homes;
+    ctx.inits <- Addr_map.add addr (encode init) ctx.inits;
+    ctx.names <- Addr_map.add addr name ctx.names;
+    { addr; name; home; encode; decode }
+
+  let int ctx ~name ~home init =
+    alloc ctx ~name ~home ~encode:Fun.id ~decode:Fun.id init
+
+  let bool ctx ~name ~home init =
+    let encode b = if b then 1 else 0 in
+    let decode v = v <> 0 in
+    alloc ctx ~name ~home ~encode ~decode init
+
+  (* Process IDs with a distinguished NIL, as in the single-waiter algorithm
+     of Sec. 7 ("W (process ID, initially NIL)").  NIL is encoded as -1. *)
+  let pid_opt ctx ~name ~home init =
+    let encode = function None -> -1 | Some p -> p in
+    let decode v = if v < 0 then None else Some v in
+    alloc ctx ~name ~home ~encode ~decode init
+
+  let int_array ctx ~name ~home n init =
+    Array.init n (fun i ->
+        int ctx ~name:(Printf.sprintf "%s[%d]" name i) ~home:(home i) (init i))
+
+  let bool_array ctx ~name ~home n init =
+    Array.init n (fun i ->
+        bool ctx ~name:(Printf.sprintf "%s[%d]" name i) ~home:(home i) (init i))
+
+  let freeze ctx =
+    { homes = ctx.homes; inits = ctx.inits; names = ctx.names; size = ctx.next }
+end

@@ -1,0 +1,79 @@
+(** Typed shared variables and their allocation.
+
+    A variable is a typed view of one integer memory cell together with its
+    DSM {!home}.  Algorithms declare their variables through a {!Ctx.ctx}
+    before the simulation starts; freezing the context produces the {!layout}
+    the simulator and cost models consume. *)
+
+(** Where a cell lives in the DSM model: in the memory module of one process,
+    or in a detached module remote to every process. *)
+type home = Module of Op.pid | Shared
+
+val pp_home : home Fmt.t
+
+type 'a t
+(** A typed handle on one shared cell. *)
+
+val addr : 'a t -> Op.addr
+val name : 'a t -> string
+val home : 'a t -> home
+
+val encode : 'a t -> 'a -> Op.value
+(** Encode a typed value into the cell representation. *)
+
+val decode : 'a t -> Op.value -> 'a
+(** Decode the cell representation; inverse of {!encode} on valid contents. *)
+
+type layout
+(** Frozen allocation: addresses with homes, initial values and debug names. *)
+
+val layout_home : layout -> Op.addr -> home
+val layout_init : layout -> Op.addr -> Op.value
+val layout_name : layout -> Op.addr -> string
+
+val layout_size : layout -> int
+(** Number of allocated cells. *)
+
+val layout_addrs : layout -> Op.addr list
+(** All allocated addresses, in allocation order. *)
+
+(** Allocation context. *)
+module Ctx : sig
+  type ctx
+
+  type nonrec 'a t = 'a t
+
+  val create : unit -> ctx
+
+  val alloc :
+    ctx ->
+    name:string ->
+    home:home ->
+    encode:('a -> Op.value) ->
+    decode:(Op.value -> 'a) ->
+    'a ->
+    'a t
+  (** Allocate a cell with a custom encoding and initial (typed) value. *)
+
+  val int : ctx -> name:string -> home:home -> int -> int t
+
+  val bool : ctx -> name:string -> home:home -> bool -> bool t
+
+  val pid_opt : ctx -> name:string -> home:home -> Op.pid option -> Op.pid option t
+  (** A process-ID cell with a distinguished NIL ([None]), as used by the
+      single-waiter algorithm of Section 7. *)
+
+  val int_array :
+    ctx -> name:string -> home:(int -> home) -> int -> (int -> int) -> int t array
+  (** [int_array ctx ~name ~home n init] allocates [n] cells; cell [i] is
+      homed at [home i] and starts at [init i].  The per-index homing is how
+      algorithms express "V[i] is local to process p_i" (Sec. 7). *)
+
+  val bool_array :
+    ctx -> name:string -> home:(int -> home) -> int -> (int -> bool) -> bool t array
+
+  val freeze : ctx -> layout
+  (** Freeze the context into the immutable layout used by the simulator.
+      Allocating after freezing is allowed but the new cells are invisible to
+      layouts frozen earlier. *)
+end

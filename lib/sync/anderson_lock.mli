@@ -1,0 +1,5 @@
+(** Anderson's array queue lock: Fetch-And-Increment tickets with per-slot
+    spinning.  O(1) RMRs per passage in the CC model; not local-spin in the
+    DSM model, where slots are homed independently of who draws them. *)
+
+include Mutex_intf.LOCK

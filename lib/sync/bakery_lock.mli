@@ -1,0 +1,5 @@
+(** Lamport's bakery algorithm: first-come-first-served mutual exclusion
+    from reads and writes only.  The FCFS baseline of the Section 3
+    literature; Θ(N) scans per passage, remote in both models. *)
+
+include Mutex_intf.LOCK

@@ -1,0 +1,5 @@
+(** The CLH queue lock: contenders spin on their predecessor's rotating
+    node — local-spin under cache coherence, remote under DSM; the mirror
+    image of MCS in the Section 3 landscape. *)
+
+include Mutex_intf.LOCK

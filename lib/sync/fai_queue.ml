@@ -1,0 +1,57 @@
+(* A shared registration queue from Fetch-And-Increment (paper, Sec. 7).
+
+   Enqueueing draws a slot with F&I and publishes the caller's ID into it:
+   O(1) RMRs per enqueue in both models.  A reader drains the prefix of
+   slots up to the current tail, paying one RMR per slot — O(k) for k
+   registrations, i.e. O(1) amortized over the processes that registered.
+   This is the mechanism that lets the queue-based signaling solution escape
+   the Section 6 lower bound: F&I is not among the primitives the bound
+   covers, and an enqueued process is visible to every later F&I, so the
+   adversary cannot erase it (replay diverges). *)
+
+open Smr
+open Program.Syntax
+
+type t = {
+  capacity : int;
+  tail : int Var.t;
+  slots : Op.pid option Var.t array;
+}
+
+let create ctx ~capacity =
+  { capacity;
+    tail = Var.Ctx.int ctx ~name:"queue.tail" ~home:Var.Shared 0;
+    slots =
+      Array.init capacity (fun i ->
+          Var.Ctx.pid_opt ctx
+            ~name:(Printf.sprintf "queue.slot[%d]" i)
+            ~home:Var.Shared None) }
+
+let enqueue t p =
+  let* slot = Program.fetch_and_increment t.tail in
+  if slot >= t.capacity then
+    invalid_arg "Fai_queue.enqueue: capacity exceeded"
+  else Program.write t.slots.(slot) (Some p)
+
+(* Visit every element in slots [from, tail), in order, and return the new
+   cursor (the tail observed at the start).  A slot that has been claimed
+   but not yet published is awaited — the claimant publishes it in its very
+   next step, so the wait is bounded under any fair schedule. *)
+let drain t ~from visit =
+  let* upto = Program.read t.tail in
+  let rec go i =
+    if i >= upto then Program.return upto
+    else
+      let* () = Program.await t.slots.(i) Option.is_some in
+      let* elem = Program.read t.slots.(i) in
+      match elem with
+      | Some q ->
+        let* () = visit q in
+        go (i + 1)
+      | None -> assert false (* awaited Some above *)
+  in
+  go from
+
+let length t =
+  let+ v = Program.read t.tail in
+  min v t.capacity

@@ -1,0 +1,28 @@
+(** Shared registration queue from Fetch-And-Increment (Section 7).
+
+    O(1) RMRs per enqueue; draining pays one RMR per registered process.
+    Because every F&I observes the counter value written by its predecessor,
+    an enqueued process is visible to all later registrants — which is
+    exactly why the Section 6 adversary cannot erase queue-registered
+    waiters, and why the queue-based signaling solution escapes the lower
+    bound. *)
+
+open Smr
+
+type t
+
+val create : Var.Ctx.ctx -> capacity:int -> t
+(** [capacity] bounds the number of enqueues over the object's lifetime;
+    exceeding it raises [Invalid_argument] at execution time. *)
+
+val enqueue : t -> Op.pid -> unit Program.t
+(** Draw a slot and publish the caller's ID into it: 2 RMRs. *)
+
+val drain : t -> from:int -> (Op.pid -> unit Program.t) -> int Program.t
+(** [drain t ~from visit] reads the tail, runs [visit] on every element in
+    slots [from, tail), and returns the observed tail (the next cursor).
+    A claimed-but-unpublished slot is awaited; the wait is bounded under any
+    fair schedule because the claimant publishes in its next step. *)
+
+val length : t -> int Program.t
+(** Number of slots claimed so far. *)

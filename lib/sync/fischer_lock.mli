@@ -1,0 +1,19 @@
+(** Fischer's timing-based mutual exclusion: one shared variable plus the
+    semi-synchronous step-gap assumption (paper, Section 3).  Safe under
+    {!Smr.Schedule.Semi_sync} with [delay > delta]; violable under
+    asynchronous schedules — experiment E11 exhibits both. *)
+
+open Smr
+
+type t
+
+val create_timed : Var.Ctx.ctx -> n:int -> delay:int -> t
+(** [delay] is the number of local steps the re-check waits — it must
+    exceed the scheduler's step-gap bound for safety. *)
+
+val acquire : t -> Op.pid -> unit Program.t
+
+val release : t -> Op.pid -> unit Program.t
+
+val with_delay : int -> (module Mutex_intf.LOCK)
+(** Package as an ordinary lock with the delay fixed. *)

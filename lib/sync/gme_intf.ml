@@ -1,0 +1,135 @@
+(* Group mutual exclusion (GME) — the problem behind the first known
+   CC/DSM separation.
+
+   GME (Joung [19]) generalizes mutual exclusion: each request for the
+   shared resource carries a session ID, and two processes may occupy the
+   resource concurrently iff they requested the same session.  Hadzilacos
+   and Danek [8] proved the two-session case costs Ω(N) RMRs in the DSM
+   model but only O(log N) in the CC model — the separation that motivates
+   this paper (Sec. 1, Sec. 3).
+
+   This module defines the interface, the safety checker (no two
+   different-session occupancies overlap) and the concurrency metric
+   (ordinary mutual exclusion solves GME with zero concurrency, which is
+   what distinguishes a real GME algorithm from the trivial reduction).
+   We make no claim of reproducing [8]'s tight bounds — that construction
+   is its own paper; experiment E10 records the measured landscape as
+   related-work context. *)
+
+open Smr
+
+module type GME = sig
+  val name : string
+
+  val primitives : Op.primitive_class list
+
+  type t
+
+  val create : Var.Ctx.ctx -> n:int -> sessions:int -> t
+
+  val enter : t -> Op.pid -> session:int -> unit Program.t
+  (** Returns once the caller may occupy the resource in [session]. *)
+
+  val exit : t -> Op.pid -> unit Program.t
+  (** Leave the resource; only legal for a process inside it.  The session
+      is the one passed to the matching [enter]. *)
+end
+
+type gme = (module GME)
+
+let enter_label ~session = Printf.sprintf "enter:%d" session
+
+let exit_label = "exit"
+
+let session_of_label label =
+  match String.index_opt label ':' with
+  | Some i when String.sub label 0 i = "enter" ->
+    int_of_string_opt (String.sub label (i + 1) (String.length label - i - 1))
+  | _ -> None
+
+(* Critical-section occupancy intervals, recovered from the call record:
+   a process occupies the resource from the completion of an [enter] to
+   the start of its next [exit] (or forever, if it never exits). *)
+type occupancy = {
+  o_pid : Op.pid;
+  o_session : int;
+  o_from : int;
+  o_until : int option;
+}
+
+let occupancies calls =
+  (* Per process, pair each completed enter with the next exit start. *)
+  let by_pid = Hashtbl.create 16 in
+  List.iter
+    (fun (c : History.call) ->
+      Hashtbl.replace by_pid c.History.c_pid
+        (c :: Option.value ~default:[] (Hashtbl.find_opt by_pid c.History.c_pid)))
+    calls;
+  Hashtbl.fold
+    (fun pid cs acc ->
+      let ordered =
+        List.sort
+          (fun (a : History.call) b -> compare a.History.c_started b.History.c_started)
+          cs
+      in
+      let rec pair acc = function
+        | [] -> acc
+        | (c : History.call) :: rest -> (
+          match (session_of_label c.History.c_label, c.History.c_finished) with
+          | Some s, Some finished ->
+            let o_until =
+              List.find_map
+                (fun (x : History.call) ->
+                  if x.History.c_label = exit_label && x.History.c_started > finished
+                  then Some x.History.c_started
+                  else None)
+                rest
+            in
+            pair ({ o_pid = pid; o_session = s; o_from = finished; o_until } :: acc)
+              rest
+          | _ -> pair acc rest)
+      in
+      pair acc ordered)
+    by_pid []
+
+let overlap a b =
+  let before x y = match x.o_until with Some u -> u <= y.o_from | None -> false in
+  not (before a b || before b a)
+
+(* The GME safety property: overlapping occupancies share a session. *)
+let conflicts calls =
+  let occs = occupancies calls in
+  let rec pairs acc = function
+    | [] -> acc
+    | o :: rest ->
+      let bad =
+        List.filter
+          (fun o' -> o.o_session <> o'.o_session && overlap o o')
+          rest
+      in
+      pairs (List.map (fun o' -> (o, o')) bad @ acc) rest
+  in
+  pairs [] occs
+
+let is_safe calls = conflicts calls = []
+
+(* Peak number of simultaneous occupancies — > 1 only for algorithms that
+   actually admit same-session concurrency. *)
+let max_concurrency calls =
+  let occs = occupancies calls in
+  let events =
+    List.concat_map
+      (fun o ->
+        (o.o_from, 1)
+        :: (match o.o_until with Some u -> [ (u, -1) ] | None -> []))
+      occs
+  in
+  let ordered = List.sort compare events in
+  let _, peak =
+    List.fold_left
+      (fun (cur, peak) (_, d) ->
+        let cur = cur + d in
+        (cur, max peak cur))
+      (0, 0) ordered
+  in
+  peak

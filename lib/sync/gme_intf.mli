@@ -1,0 +1,56 @@
+(** Group mutual exclusion (GME): the problem behind the first known CC/DSM
+    separation (Hadzilacos & Danek [8], discussed in the paper's Sections 1
+    and 3).  Requests carry session IDs; two processes may occupy the
+    resource concurrently iff they requested the same session.
+
+    This module gives the interface, the safety checker, and the
+    concurrency metric that distinguishes a real GME algorithm from the
+    trivial mutual-exclusion reduction.  E10 records the measured landscape
+    as related-work context; no claim is made of reproducing [8]'s tight
+    bounds. *)
+
+open Smr
+
+module type GME = sig
+  val name : string
+  val primitives : Op.primitive_class list
+
+  type t
+
+  val create : Var.Ctx.ctx -> n:int -> sessions:int -> t
+
+  val enter : t -> Op.pid -> session:int -> unit Program.t
+  (** Returns once the caller may occupy the resource in [session]. *)
+
+  val exit : t -> Op.pid -> unit Program.t
+  (** Leave the resource; only legal inside it. *)
+end
+
+type gme = (module GME)
+
+val enter_label : session:int -> string
+val exit_label : string
+
+val session_of_label : string -> int option
+(** Recover the session from an [enter_label]; [None] for other labels. *)
+
+(** One process's stay in the resource: from the completion of an enter to
+    the start of its next exit ([None] = never exited). *)
+type occupancy = {
+  o_pid : Op.pid;
+  o_session : int;
+  o_from : int;
+  o_until : int option;
+}
+
+val occupancies : History.call list -> occupancy list
+
+val conflicts : History.call list -> (occupancy * occupancy) list
+(** Pairs of overlapping occupancies with different sessions — GME safety
+    violations. *)
+
+val is_safe : History.call list -> bool
+
+val max_concurrency : History.call list -> int
+(** Peak simultaneous occupancy; 1 for the mutex reduction, > 1 for
+    algorithms that actually admit same-session concurrency. *)

@@ -1,0 +1,73 @@
+(* The "lightswitch" group mutual exclusion: each session is a team; the
+   first member in acquires a main lock on the team's behalf, later
+   members ride along, and the last member out releases it.
+
+   Structurally different from [Gme_session_lock]: no parking array and no
+   O(N) hand-off scan — same-team concurrency is unbounded and entry is
+   O(lock) — at the price of no fairness across sessions (a busy team can
+   starve the others, which GME's safety spec permits).  The main lock
+   must be releasable by a process other than its acquirer, so it is a
+   ticket lock (whose release is a plain counter increment) rather than
+   MCS (whose release walks the holder's own queue node). *)
+
+open Smr
+open Program.Syntax
+
+let name = "gme-lightswitch"
+
+let primitives = [ Op.Reads_writes; Op.Fetch_and_phi ]
+
+type t = {
+  team_mutex : Mcs_lock.t array; (* per-session guard for its counter *)
+  count : int Var.t array; (* members of session s currently inside *)
+  main : Ticket_lock.t; (* inter-team exclusion; asymmetric release *)
+}
+
+let create ctx ~n ~sessions =
+  { team_mutex = Array.init sessions (fun _ -> Mcs_lock.create ctx ~n);
+    count =
+      Var.Ctx.int_array ctx ~name:"ls.count" ~home:(fun _ -> Var.Shared) sessions
+        (fun _ -> 0);
+    main = Ticket_lock.create ctx ~n }
+
+let enter t p ~session =
+  let* () = Mcs_lock.acquire t.team_mutex.(session) p in
+  let* c = Program.read t.count.(session) in
+  let* () = Program.write t.count.(session) (c + 1) in
+  (* First one in switches the light on: lock out every other session.
+     Done while holding the team mutex, so teammates queue behind until
+     the resource is really ours. *)
+  let* () = Program.when_ (c = 0) (Ticket_lock.acquire t.main p) in
+  Mcs_lock.release t.team_mutex.(session) p
+
+let exit_session t p ~session =
+  let* () = Mcs_lock.acquire t.team_mutex.(session) p in
+  let* c = Program.read t.count.(session) in
+  let* () = Program.write t.count.(session) (c - 1) in
+  let* () = Program.when_ (c - 1 = 0) (Ticket_lock.release t.main p) in
+  Mcs_lock.release t.team_mutex.(session) p
+
+(* The GME interface needs exit without the session argument: remember it
+   per process.  A separate module so the core algorithm above stays
+   readable. *)
+module As_gme : Gme_intf.GME = struct
+  let name = name
+
+  let primitives = primitives
+
+  type nonrec t = { inner : t; my_session : int Var.t array }
+
+  let create ctx ~n ~sessions =
+    { inner = create ctx ~n ~sessions;
+      my_session =
+        Var.Ctx.int_array ctx ~name:"ls.mine" ~home:(fun i -> Var.Module i) n
+          (fun _ -> -1) }
+
+  let enter t p ~session =
+    let* () = Program.write t.my_session.(p) session in
+    enter t.inner p ~session
+
+  let exit t p =
+    let* session = Program.read t.my_session.(p) in
+    exit_session t.inner p ~session
+end

@@ -1,0 +1,20 @@
+(** The "lightswitch" group mutual exclusion: the first member of a session
+    locks out every other session, later members ride along, the last one
+    out releases.  O(lock) entry, unbounded same-session concurrency, no
+    cross-session fairness.  The inter-team lock must be releasable by a
+    different process than its acquirer, hence the ticket lock inside. *)
+
+open Smr
+
+type t
+
+val create : Var.Ctx.ctx -> n:int -> sessions:int -> t
+
+val enter : t -> Op.pid -> session:int -> unit Program.t
+
+val exit_session : t -> Op.pid -> session:int -> unit Program.t
+(** Exit, with the session passed explicitly. *)
+
+(** Packaged under the standard GME interface (the session is remembered
+    in a per-process cell). *)
+module As_gme : Gme_intf.GME

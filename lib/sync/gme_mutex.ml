@@ -1,0 +1,19 @@
+(* The trivial GME solution: ordinary mutual exclusion, sessions ignored.
+
+   Safe — no two occupancies ever overlap at all — but admits zero
+   concurrency, which is exactly what the GME problem exists to provide.
+   The baseline for experiment E10: a real GME algorithm must beat its
+   concurrency of 1. *)
+
+
+let name = "gme-mutex"
+
+let primitives = Mcs_lock.primitives
+
+type t = Mcs_lock.t
+
+let create ctx ~n ~sessions:_ = Mcs_lock.create ctx ~n
+
+let enter t p ~session:_ = Mcs_lock.acquire t p
+
+let exit t p = Mcs_lock.release t p

@@ -1,0 +1,5 @@
+(** The trivial GME solution: ordinary mutual exclusion with sessions
+    ignored.  Safe, but admits zero concurrency — the baseline E10's real
+    GME algorithm must beat. *)
+
+include Gme_intf.GME

@@ -1,0 +1,30 @@
+(** Driver for GME tests and experiments: scripted enter/work/exit passages
+    under a chosen schedule and cost model, with the safety verdict and the
+    concurrency actually achieved. *)
+
+open Smr
+
+type outcome = {
+  sim : Sim.t;
+  safe : bool;  (** no two different-session occupancies overlapped *)
+  max_concurrency : int;
+  total_rmrs : int;
+  avg_rmrs_per_passage : float;
+  passages : int;
+}
+
+val default_session : sessions:int -> Op.pid -> int -> int
+(** [(p + round) mod sessions]: neighbours collide. *)
+
+val run :
+  (module Gme_intf.GME) ->
+  model_of:(Var.layout -> Cost_model.t) ->
+  n:int ->
+  entries:int ->
+  ?sessions:int ->
+  ?session_of:(Op.pid -> int -> int) ->
+  ?policy:Schedule.policy ->
+  ?max_events:int ->
+  unit ->
+  outcome
+(** Raises [Failure] if some process cannot finish its passages. *)

@@ -1,0 +1,97 @@
+(* A local-spin group mutual exclusion algorithm in the style of Keane and
+   Moir [20]: an ordinary mutex protects the session bookkeeping, waiters
+   for a closed session park on per-process grant flags homed in their own
+   modules, and the last process to leave a session hands the resource to
+   all waiters of one requested session at once.
+
+   Costs (not tight, by design — see Gme_intf's header): an uncontended or
+   same-session entry is O(lock) RMRs; a parked entry adds one local-spin
+   wait; an exit that closes a session scans the want array, O(N).  The
+   point for E10 is qualitative: same-session concurrency is admitted
+   (max_concurrency > 1) while different sessions never overlap, and the
+   parked wait is local in both CC and DSM. *)
+
+open Smr
+open Program.Syntax
+
+let name = "gme-session"
+
+let primitives = [ Op.Reads_writes; Op.Fetch_and_phi; Op.Comparison ]
+
+type t = {
+  n : int;
+  lock : Mcs_lock.t;
+  active : int Var.t; (* current open session, -1 = none; guarded by lock *)
+  count : int Var.t; (* occupants of the active session; guarded by lock *)
+  want : int Var.t array; (* want.(i): session i waits for, -1 = none *)
+  grant : bool Var.t array; (* grant.(i) homed at module i: admission *)
+}
+
+let create ctx ~n ~sessions:_ =
+  { n;
+    lock = Mcs_lock.create ctx ~n;
+    active = Var.Ctx.int ctx ~name:"gme.active" ~home:Var.Shared (-1);
+    count = Var.Ctx.int ctx ~name:"gme.count" ~home:Var.Shared 0;
+    want =
+      Var.Ctx.int_array ctx ~name:"gme.want"
+        ~home:(fun i -> Var.Module i)
+        n
+        (fun _ -> -1);
+    grant =
+      Var.Ctx.bool_array ctx ~name:"gme.grant"
+        ~home:(fun i -> Var.Module i)
+        n
+        (fun _ -> false) }
+
+let enter t p ~session =
+  let* () = Mcs_lock.acquire t.lock p in
+  let* a = Program.read t.active in
+  if a = -1 || a = session then
+    (* The resource is free or already open for our session: join it. *)
+    let* c = Program.read t.count in
+    let* () = Program.write t.count (c + 1) in
+    let* () = Program.write t.active session in
+    Mcs_lock.release t.lock p
+  else
+    (* Another session holds the resource: park on the local grant flag.
+       The request is published under the lock, so the closing process
+       cannot miss it. *)
+    let* () = Program.write t.want.(p) session in
+    let* () = Mcs_lock.release t.lock p in
+    let* () = Program.await t.grant.(p) Fun.id in
+    Program.write t.grant.(p) false
+
+(* Scan the want array (under the lock), admitting every waiter of the
+   first requested session found; returns how many were admitted. *)
+let admit_next t =
+  let rec find_session i =
+    if i >= t.n then Program.return (-1)
+    else
+      let* w = Program.read t.want.(i) in
+      if w >= 0 then Program.return w else find_session (i + 1)
+  in
+  let* chosen = find_session 0 in
+  if chosen < 0 then
+    let* () = Program.write t.active (-1) in
+    Program.return ()
+  else
+    let rec admit i admitted =
+      if i >= t.n then Program.return admitted
+      else
+        let* w = Program.read t.want.(i) in
+        if w = chosen then
+          let* () = Program.write t.want.(i) (-1) in
+          let* () = Program.write t.grant.(i) true in
+          admit (i + 1) (admitted + 1)
+        else admit (i + 1) admitted
+    in
+    let* admitted = admit 0 0 in
+    let* () = Program.write t.active chosen in
+    Program.write t.count admitted
+
+let exit t p =
+  let* () = Mcs_lock.acquire t.lock p in
+  let* c = Program.read t.count in
+  let* () = Program.write t.count (c - 1) in
+  let* () = Program.when_ (c - 1 = 0) (admit_next t) in
+  Mcs_lock.release t.lock p

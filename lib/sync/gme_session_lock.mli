@@ -1,0 +1,6 @@
+(** A local-spin group mutual exclusion algorithm in the style of Keane and
+    Moir [20]: a mutex guards the session bookkeeping, waiters for a closed
+    session park on grant flags homed in their own modules, and the last
+    process out hands the resource to all waiters of one session at once. *)
+
+include Gme_intf.GME

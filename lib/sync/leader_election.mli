@@ -1,0 +1,22 @@
+(** Leader election where every participant learns the winner's identity
+    (used by the Section 7 blocking and multi-signaler solutions).
+
+    This is the "one step per process using virtually any read-modify-write
+    primitive" election the paper mentions, extended with a local-spin
+    announcement: the Test-And-Set winner broadcasts its ID into
+    per-process cells homed in their owners' modules, and losers spin
+    locally.  Losers pay O(1) RMRs in both models; the single winner pays
+    O(N) for the broadcast.  DESIGN.md documents this as a substitution for
+    the O(1)-RMR read/write election of Golab, Hendler & Woelfel [13]. *)
+
+open Smr
+
+type t
+
+val create : Var.Ctx.ctx -> n:int -> t
+
+val elect : t -> Op.pid -> Op.pid Program.t
+(** Join the election and return the leader's ID (possibly the caller's). *)
+
+val winner_known : t -> Op.pid -> Op.pid option Program.t
+(** Non-blocking probe of the caller's announcement cell. *)

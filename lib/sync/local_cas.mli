@@ -1,0 +1,42 @@
+(** Read/write implementations of CAS and LL/SC, and the Corollary 6.14
+    transformation.
+
+    Replaces CAS, LL/SC and plain writes on protected addresses with
+    lock-mediated sequences built from reads and writes only (the lock is
+    Yang-Anderson, itself read/write; links are tracked by a version
+    counter, so SC has no ABA problem and any nontrivial operation
+    invalidates outstanding links, as in hardware).  The result costs
+    O(log N) RMRs per operation — a documented weakening of the O(1)
+    construction of Golab et al. [12] — but preserves the property the
+    mechanized Corollary 6.14 experiment needs: the transformed algorithm
+    uses reads and writes only, so Theorem 6.2's adversary applies. *)
+
+open Smr
+
+type t
+
+val create : Var.Ctx.ctx -> n:int -> addrs:Op.addr list -> t
+(** One read/write lock + version counter + per-process link cells per
+    distinct protected address.  Call before freezing the context. *)
+
+val protects : t -> Op.addr -> bool
+
+val cas_program :
+  t -> Op.pid -> addr:Op.addr -> expected:Op.value -> update:Op.value -> Op.value Program.t
+(** Returns 1 on success, 0 on failure, like the hardware primitive. *)
+
+val ll_program : t -> Op.pid -> addr:Op.addr -> Op.value Program.t
+(** Load-linked: returns the cell value and records the link. *)
+
+val sc_program : t -> Op.pid -> addr:Op.addr -> update:Op.value -> Op.value Program.t
+(** Store-conditional: succeeds (returns 1) iff no nontrivial transformed
+    operation hit the cell since the caller's last [ll_program]. *)
+
+val write_program : t -> Op.pid -> addr:Op.addr -> value:Op.value -> Op.value Program.t
+(** A plain write routed through the lock so it invalidates links. *)
+
+val transform : t -> Op.pid -> 'a Program.t -> 'a Program.t
+(** Rewrite a program, replacing every CAS, LL, SC and Write on a protected
+    address.  Raises [Invalid_argument] on fetch-and-phi over a protected
+    address (such algorithms are outside the Corollary 6.14 class and need
+    no transformation). *)

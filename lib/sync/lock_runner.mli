@@ -1,0 +1,26 @@
+(** Driver for the mutual-exclusion experiments (E7): scripted lock
+    passages under a chosen schedule and cost model, with mutual exclusion
+    certified by the racy-counter exerciser. *)
+
+open Smr
+
+type outcome = {
+  sim : Sim.t;
+  mutual_exclusion_held : bool;
+  total_rmrs : int;
+  total_messages : int;
+  max_rmrs_per_process : int;
+  avg_rmrs_per_passage : float;
+  passages : int;
+}
+
+val run :
+  (module Mutex_intf.LOCK) ->
+  model_of:(Var.layout -> Cost_model.t) ->
+  n:int ->
+  entries:int ->
+  ?policy:Schedule.policy ->
+  ?max_events:int ->
+  unit ->
+  outcome
+(** Raises [Failure] if some process cannot finish its passages. *)

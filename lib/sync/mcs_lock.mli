@@ -1,0 +1,6 @@
+(** The MCS list-based queue lock: Fetch-And-Store enqueue, hand-off through
+    per-process queue nodes homed in their owners' modules.  O(1) RMRs per
+    passage in both the CC and DSM models — the strongest entry in the
+    Section 3 landscape. *)
+
+include Mutex_intf.LOCK

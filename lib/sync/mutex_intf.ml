@@ -1,0 +1,56 @@
+(* The mutual-exclusion interface shared by every lock in this library.
+
+   Mutual exclusion is the reference problem of the RMR literature the paper
+   builds on (Sec. 3): the locks here reproduce the classical complexity
+   landscape — TAS spinning is unbounded, Yang-Anderson is Θ(log N) with
+   reads and writes, MCS and Anderson are O(1) with fetch-and-phi — and the
+   MCS/Anderson machinery is reused by the queue-based signaling solution of
+   Section 7. *)
+
+open Smr
+
+module type LOCK = sig
+  val name : string
+
+  val primitives : Op.primitive_class list
+  (** The strongest primitive classes the lock's operations use. *)
+
+  type t
+
+  val create : Var.Ctx.ctx -> n:int -> t
+
+  val acquire : t -> Op.pid -> unit Program.t
+
+  val release : t -> Op.pid -> unit Program.t
+  (** Only legal for the process currently holding the lock. *)
+end
+
+type lock = (module LOCK)
+
+(* A critical-section exerciser used by tests and benchmarks: each process
+   repeatedly acquires the lock, bumps a shared (unprotected) counter twice
+   — the canonical race detector — and releases.  Any mutual-exclusion
+   violation makes the final counter differ from 2 * entries. *)
+module Exerciser (L : LOCK) = struct
+  open Program.Syntax
+
+  type t = { lock : L.t; counter : int Var.t; scratch : int Var.t }
+
+  let create ctx ~n =
+    { lock = L.create ctx ~n;
+      counter = Var.Ctx.int ctx ~name:"cs_counter" ~home:Var.Shared 0;
+      scratch = Var.Ctx.int ctx ~name:"cs_scratch" ~home:Var.Shared 0 }
+
+  let entry t p =
+    let* () = L.acquire t.lock p in
+    let* v = Program.read t.counter in
+    (* A deliberate read-modify-write gap: if two processes are ever in the
+       critical section together, increments are lost. *)
+    let* () = Program.write t.scratch p in
+    let* () = Program.write t.counter (v + 1) in
+    let* v2 = Program.read t.counter in
+    let* () = Program.write t.counter (v2 + 1) in
+    L.release t.lock p
+
+  let counter_value t sim = Memory.get (Sim.memory sim) (Var.addr t.counter)
+end

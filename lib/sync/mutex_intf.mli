@@ -1,0 +1,38 @@
+(** Mutual exclusion: the reference problem of the RMR literature the paper
+    builds on (Section 3), and a substrate of the Section 7 solutions. *)
+
+open Smr
+
+(** Interface every lock in this library satisfies. *)
+module type LOCK = sig
+  val name : string
+
+  val primitives : Op.primitive_class list
+  (** The strongest primitive classes the lock's operations use. *)
+
+  type t
+
+  val create : Var.Ctx.ctx -> n:int -> t
+
+  val acquire : t -> Op.pid -> unit Program.t
+
+  val release : t -> Op.pid -> unit Program.t
+  (** Only legal for the process currently holding the lock. *)
+end
+
+type lock = (module LOCK)
+
+(** A critical-section exerciser for tests and benchmarks: each entry
+    performs a deliberately racy double increment of a shared counter inside
+    the critical section, so any mutual-exclusion violation shows up as a
+    lost increment ([counter_value] < 2 × entries). *)
+module Exerciser (L : LOCK) : sig
+  type t
+
+  val create : Var.Ctx.ctx -> n:int -> t
+
+  val entry : t -> Op.pid -> unit Program.t
+  (** One acquire / racy double increment / release passage. *)
+
+  val counter_value : t -> Sim.t -> int
+end

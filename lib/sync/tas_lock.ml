@@ -1,0 +1,25 @@
+(* Test-and-set spinlock: the classical non-local-spin baseline.
+
+   Every contender spins with test-and-set directly on the shared flag, so
+   under contention each spin iteration is an RMR in both models (and on a
+   real machine, a coherence storm).  This is the "unbounded RMR complexity"
+   end of the Section 3 landscape. *)
+
+open Smr
+open Program.Syntax
+
+let name = "tas"
+
+let primitives = [ Op.Fetch_and_phi ]
+
+type t = { flag : bool Var.t }
+
+let create ctx ~n:_ =
+  { flag = Var.Ctx.bool ctx ~name:"tas.flag" ~home:Var.Shared false }
+
+let acquire t _p =
+  Program.repeat_until
+    (let+ taken = Program.test_and_set t.flag in
+     not taken)
+
+let release t _p = Program.write t.flag false

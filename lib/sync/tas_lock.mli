@@ -1,0 +1,5 @@
+(** Test-and-set spinlock: the unbounded-RMR baseline of the Section 3
+    landscape.  Every spin iteration hits the shared flag remotely in both
+    models. *)
+
+include Mutex_intf.LOCK

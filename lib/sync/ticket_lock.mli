@@ -1,0 +1,5 @@
+(** The ticket lock: F&I dispenser plus a shared now-serving counter.
+    FIFO-fair; every hand-off invalidates all waiters (O(N) per passage in
+    CC) and the spin is remote in DSM. *)
+
+include Mutex_intf.LOCK

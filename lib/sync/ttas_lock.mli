@@ -1,0 +1,5 @@
+(** Test-and-test-and-set lock: spins by reading, so waiting is cheap in the
+    CC model (cache-served) but still remote in the DSM model — a minimal
+    illustration of the model sensitivity the paper's Section 1 discusses. *)
+
+include Mutex_intf.LOCK

@@ -1,0 +1,8 @@
+(** Yang and Anderson's tournament lock: N-process mutual exclusion from
+    reads and writes only, Θ(log N) RMRs per passage in both models — the
+    tight bound for this primitive class (Section 3). *)
+
+include Mutex_intf.LOCK
+
+val levels_for : int -> int
+(** Height of the arbitration tree for [n] processes (0 when [n] = 1). *)

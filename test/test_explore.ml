@@ -1,0 +1,183 @@
+(* Exhaustive small-scope verification: every interleaving of small
+   signaling configurations satisfies Specification 4.1, and the explorer
+   itself counts interleavings correctly. *)
+
+open Smr
+open Test_util
+open Core
+
+(* The spec as an exploration property. *)
+let spec_ok sim = Signaling.check_polling (Sim.calls sim) = []
+
+(* Build scripts for an algorithm instance: each waiter performs up to
+   [polls] Poll() calls, stopping early once one returns true (the
+   Section 4 history restriction); the signaler performs one Signal(). *)
+let scripts_for (module A : Signaling.POLLING) ~n ~waiters ~polls =
+  let ctx = Var.Ctx.create () in
+  let cfg = Signaling.config ~n ~waiters ~signalers:[ 0 ] in
+  let inst = Signaling.instantiate (module A) ctx cfg in
+  let layout = Var.Ctx.freeze ctx in
+  let scripts =
+    (0, Explore.of_list [ (Signaling.signal_label, inst.Signaling.i_signal 0) ])
+    :: List.map
+         (fun w ->
+           ( w,
+             Explore.repeat ~limit:polls
+               ~until:(fun r -> r = 1)
+               (Signaling.poll_label, inst.Signaling.i_poll w) ))
+         waiters
+  in
+  (layout, scripts)
+
+let explore (module A : Signaling.POLLING) ~n ~waiters ~polls =
+  let layout, scripts = scripts_for (module A) ~n ~waiters ~polls in
+  Explore.check ~layout ~model:(Cost_model.dsm layout) ~n ~scripts
+    ~property:spec_ok ()
+
+let check_no_violation name (r : Explore.result) =
+  check_true (name ^ ": no violation") (r.Explore.violation = None);
+  check_true (name ^ ": explored something") (r.Explore.histories > 0)
+
+let test_count_basics () =
+  (* Two processes, one single-step call each: begin+step per process give
+     2 moves each; interleavings of the 4 events with per-process order
+     fixed = C(4,2) = 6. *)
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let script p = Explore.of_list [ ("w", Program.step (Op.Write (Var.addr x, p))) ] in
+  let n =
+    Explore.count ~layout ~model:(Cost_model.dsm layout) ~n:2
+      ~scripts:[ (0, script 0); (1, script 1) ]
+      ()
+  in
+  check_int "six interleavings" 6 n
+
+let test_count_respects_cap () =
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let script p =
+    Explore.of_list
+      (List.init 3 (fun i ->
+           (Printf.sprintf "w%d" i, Program.step (Op.Write (Var.addr x, p)))))
+  in
+  let r =
+    Explore.check ~max_histories:10 ~layout ~model:(Cost_model.dsm layout) ~n:2
+      ~scripts:[ (0, script 0); (1, script 1) ]
+      ~property:(fun _ -> true) ()
+  in
+  check_int "capped" 10 r.Explore.histories;
+  check_false "reported incomplete" r.Explore.complete
+
+let test_truncation_of_spin_loops () =
+  (* A spinner that never sees its condition: every branch that keeps
+     scheduling it truncates rather than hanging. *)
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let spin = Program.map (fun () -> 0) (Program.await x (fun v -> v > 0)) in
+  let r =
+    Explore.check ~max_steps_per_history:20 ~layout
+      ~model:(Cost_model.dsm layout) ~n:1
+      ~scripts:[ (0, Explore.of_list [ ("spin", spin) ]) ]
+      ~property:(fun _ -> true) ()
+  in
+  check_true "truncated branches reported" (r.Explore.truncated > 0);
+  check_false "not complete" r.Explore.complete
+
+let test_violation_reported () =
+  (* A property that always fails is falsified on the first leaf. *)
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let r =
+    Explore.check ~layout ~model:(Cost_model.dsm layout) ~n:1
+      ~scripts:
+        [ (0, Explore.of_list [ ("w", Program.step (Op.Write (Var.addr x, 1))) ]) ]
+      ~property:(fun _ -> false) ()
+  in
+  check_true "violation returned" (r.Explore.violation <> None)
+
+(* --- exhaustive spec verification per algorithm --- *)
+
+let test_cc_flag_exhaustive () =
+  let r = explore (module Cc_flag) ~n:3 ~waiters:[ 1; 2 ] ~polls:2 in
+  check_no_violation "cc-flag" r;
+  check_true "fully enumerated" r.Explore.complete
+
+let test_broadcast_exhaustive () =
+  let r = explore (module Dsm_broadcast) ~n:3 ~waiters:[ 1; 2 ] ~polls:2 in
+  check_no_violation "dsm-broadcast" r;
+  check_true "fully enumerated" r.Explore.complete
+
+let test_single_waiter_exhaustive () =
+  let r = explore (module Dsm_single_waiter) ~n:2 ~waiters:[ 1 ] ~polls:3 in
+  check_no_violation "dsm-single" r;
+  check_true "fully enumerated" r.Explore.complete
+
+let test_registration_exhaustive () =
+  (* Fully enumerable at one waiter; at two waiters the state space tops
+     the cap (~11M interleavings), so that run is a bounded search. *)
+  let r = explore (module Dsm_registration) ~n:2 ~waiters:[ 1 ] ~polls:2 in
+  check_no_violation "dsm-registration (n=2)" r;
+  check_true "fully enumerated" r.Explore.complete;
+  let r3 = explore (module Dsm_registration) ~n:3 ~waiters:[ 1; 2 ] ~polls:1 in
+  check_no_violation "dsm-registration (n=3, capped)" r3
+
+let test_queue_exhaustive () =
+  (* The drain's await can spin on a claimed slot, so some branches
+     truncate; spec safety must hold on every explored prefix. *)
+  let r = explore (module Dsm_queue) ~n:2 ~waiters:[ 1 ] ~polls:2 in
+  check_no_violation "dsm-queue" r
+
+let test_cas_register_exhaustive () =
+  let r = explore (module Cas_register) ~n:2 ~waiters:[ 1 ] ~polls:2 in
+  check_no_violation "cas-register" r
+
+let test_llsc_register_exhaustive () =
+  let r = explore (module Llsc_register) ~n:2 ~waiters:[ 1 ] ~polls:2 in
+  check_no_violation "llsc-register" r
+
+let test_fixed_waiters_exhaustive () =
+  let r = explore (module Dsm_fixed_waiters) ~n:3 ~waiters:[ 1; 2 ] ~polls:2 in
+  check_no_violation "dsm-fixed" r;
+  check_true "fully enumerated" r.Explore.complete
+
+let test_multi_signaler_exhaustive () =
+  (* Two racing signalers (leader election inside Signal()) and one
+     waiter: safety over the explored space; the losing signaler's remote
+     spin truncates some branches. *)
+  let module M = Multi_signaler.Make (Dsm_broadcast) in
+  let ctx = Var.Ctx.create () in
+  let cfg = Signaling.config ~n:3 ~waiters:[ 2 ] ~signalers:[ 0; 1 ] in
+  let inst = Signaling.instantiate (module M) ctx cfg in
+  let layout = Var.Ctx.freeze ctx in
+  let scripts =
+    [ (0, Explore.of_list [ (Signaling.signal_label, inst.Signaling.i_signal 0) ]);
+      (1, Explore.of_list [ (Signaling.signal_label, inst.Signaling.i_signal 1) ]);
+      ( 2,
+        Explore.repeat ~limit:2
+          ~until:(fun r -> r = 1)
+          (Signaling.poll_label, inst.Signaling.i_poll 2) ) ]
+  in
+  let r =
+    Explore.check ~max_histories:400_000 ~layout
+      ~model:(Cost_model.dsm layout) ~n:3 ~scripts ~property:spec_ok ()
+  in
+  check_no_violation "multi-signaler" r
+
+let suite =
+  [ case "interleaving count" test_count_basics;
+    case "history cap respected" test_count_respects_cap;
+    case "spin loops truncate" test_truncation_of_spin_loops;
+    case "violations reported" test_violation_reported;
+    case "cc-flag: all interleavings safe" test_cc_flag_exhaustive;
+    case "dsm-broadcast: all interleavings safe" test_broadcast_exhaustive;
+    case "dsm-single: all interleavings safe" test_single_waiter_exhaustive;
+    case "dsm-registration: all interleavings safe" test_registration_exhaustive;
+    case "dsm-queue: explored interleavings safe" test_queue_exhaustive;
+    case "cas-register: explored interleavings safe" test_cas_register_exhaustive;
+    case "llsc-register: explored interleavings safe" test_llsc_register_exhaustive;
+    case "dsm-fixed: all interleavings safe" test_fixed_waiters_exhaustive;
+    case "multi-signaler: explored interleavings safe" test_multi_signaler_exhaustive ]

@@ -1,0 +1,139 @@
+(* Tests for the history predicates of Section 6 (sees, touches,
+   regularity) and for re-accounting. *)
+
+open Smr
+open Test_util
+
+let mk_step ?(time = 0) ?(wrote = false) ?read_from ?(home = Var.Shared)
+    ?(rmr = false) ?(messages = 0) ~pid inv response =
+  { History.time;
+    pid;
+    inv;
+    response;
+    wrote;
+    read_from;
+    home;
+    rmr;
+    messages;
+    call_seq = 0 }
+
+let test_sees () =
+  let steps =
+    [ mk_step ~pid:1 (Op.Write (0, 5)) 0 ~wrote:true;
+      mk_step ~pid:2 (Op.Read 0) 5 ~read_from:1 ]
+  in
+  check_true "p2 sees p1" (History.sees steps ~p:2 ~q:1);
+  check_false "p1 does not see p2" (History.sees steps ~p:1 ~q:2);
+  check_true "all_sees" (History.all_sees steps = [ (2, 1) ])
+
+let test_self_sees_excluded () =
+  let steps =
+    [ mk_step ~pid:1 (Op.Write (0, 5)) 0 ~wrote:true;
+      mk_step ~pid:1 (Op.Read 0) 5 ~read_from:1 ]
+  in
+  check_true "reading your own write is not seeing" (History.all_sees steps = [])
+
+let test_touches () =
+  let steps = [ mk_step ~pid:0 (Op.Read 3) 0 ~home:(Var.Module 2) ] in
+  check_true "p0 touches p2" (History.touches steps ~p:0 ~q:2);
+  check_false "own module is not a touch"
+    (History.touches [ mk_step ~pid:2 (Op.Read 3) 0 ~home:(Var.Module 2) ] ~p:2 ~q:2)
+
+let test_regularity_clean () =
+  let steps =
+    [ mk_step ~pid:0 (Op.Read 0) 0;
+      mk_step ~pid:1 (Op.Write (1, 5)) 0 ~wrote:true ]
+  in
+  check_true "independent accesses are regular"
+    (History.is_regular steps ~finished:(fun _ -> false))
+
+let test_regularity_sees_violation () =
+  let steps =
+    [ mk_step ~pid:1 (Op.Write (0, 5)) 0 ~wrote:true;
+      mk_step ~pid:2 (Op.Read 0) 5 ~read_from:1 ]
+  in
+  check_false "seeing an active process is irregular"
+    (History.is_regular steps ~finished:(fun _ -> false));
+  check_true "seeing a finished process is fine"
+    (History.is_regular steps ~finished:(fun q -> q = 1))
+
+let test_regularity_touch_violation () =
+  let steps = [ mk_step ~pid:0 (Op.Read 3) 0 ~home:(Var.Module 2) ] in
+  check_false "touching an active process is irregular"
+    (History.is_regular steps ~finished:(fun _ -> false));
+  check_true "touching a finished process is fine"
+    (History.is_regular steps ~finished:(fun q -> q = 2))
+
+let test_regularity_multi_writer () =
+  let steps =
+    [ mk_step ~pid:1 (Op.Write (0, 1)) 0 ~wrote:true;
+      mk_step ~pid:2 (Op.Write (0, 2)) 0 ~wrote:true ]
+  in
+  check_true "multi-writer vars found"
+    (History.multi_writer_last steps = [ (0, 2) ]);
+  check_false "active last writer of a contested var is irregular"
+    (History.is_regular steps ~finished:(fun _ -> false));
+  check_true "finished last writer is fine"
+    (History.is_regular steps ~finished:(fun q -> q = 2))
+
+let test_single_writer_not_flagged () =
+  let steps =
+    [ mk_step ~pid:1 (Op.Write (0, 1)) 0 ~wrote:true;
+      mk_step ~pid:1 (Op.Write (0, 2)) 0 ~wrote:true ]
+  in
+  check_true "one writer twice is not multi-writer"
+    (History.multi_writer_last steps = [])
+
+let test_tally () =
+  let steps =
+    [ mk_step ~pid:0 (Op.Read 0) 0 ~rmr:true ~messages:2;
+      mk_step ~pid:0 (Op.Read 0) 0;
+      mk_step ~pid:1 (Op.Read 0) 0 ~rmr:true ~messages:1 ]
+  in
+  let t = History.tally_by_pid steps in
+  let t0 = History.Pid_map.find 0 t in
+  check_int "p0 steps" 2 t0.History.t_steps;
+  check_int "p0 rmrs" 1 t0.History.t_rmrs;
+  check_int "p0 messages" 2 t0.History.t_messages;
+  check_int "total rmrs" 2 (History.total_rmrs steps);
+  check_int "total messages" 3 (History.total_messages steps)
+
+let test_reaccount () =
+  (* Execute a small workload under DSM, re-account under CC, and confirm
+     the CC numbers match a direct CC run. *)
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:(Var.Module 1) 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let prog =
+    let open Program.Syntax in
+    let* _ = Program.read x in
+    let* _ = Program.read x in
+    Program.write x 5
+  in
+  let run model =
+    let sim = Sim.create ~model ~layout ~n:2 in
+    run_unit sim prog
+  in
+  let dsm_sim = run (Cost_model.dsm layout) in
+  let cc_model () = Cc.model ~n:2 () in
+  let cc_sim = run (cc_model ()) in
+  let reaccounted = History.reaccount (cc_model ()) (Sim.steps dsm_sim) in
+  check_int "reaccounted RMRs match a direct CC run"
+    (History.total_rmrs (Sim.steps cc_sim))
+    (History.total_rmrs reaccounted);
+  (* DSM: all three ops remote (x homed at p1, run by p0) = 3 RMRs;
+     CC: one read miss + write = 2. *)
+  check_int "dsm total" 3 (Sim.total_rmrs dsm_sim);
+  check_int "cc total" 2 (History.total_rmrs reaccounted)
+
+let suite =
+  [ case "sees" test_sees;
+    case "self-reads are not sees" test_self_sees_excluded;
+    case "touches" test_touches;
+    case "regular history accepted" test_regularity_clean;
+    case "sees-active violation" test_regularity_sees_violation;
+    case "touches-active violation" test_regularity_touch_violation;
+    case "multi-writer violation" test_regularity_multi_writer;
+    case "single writer not flagged" test_single_writer_not_flagged;
+    case "tallies" test_tally;
+    case "reaccounting matches direct run" test_reaccount ]

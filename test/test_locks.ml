@@ -1,0 +1,231 @@
+(* Tests for the mutual-exclusion substrates: safety (via the racy-counter
+   exerciser), liveness (completion under fair schedules), and the RMR
+   complexity landscape of Section 3. *)
+
+open Smr
+open Test_util
+
+let locks : (module Sync.Mutex_intf.LOCK) list =
+  [ (module Sync.Tas_lock);
+    (module Sync.Ttas_lock);
+    (module Sync.Ticket_lock);
+    (module Sync.Anderson_lock);
+    (module Sync.Clh_lock);
+    (module Sync.Mcs_lock);
+    (module Sync.Yang_anderson);
+    (module Sync.Bakery_lock) ]
+
+let dsm layout = Cost_model.dsm layout
+
+let cc _layout = Cc.model ~n:0 ()
+
+let run_lock (module L : Sync.Mutex_intf.LOCK) ~model_of ~n ~entries ~policy =
+  Sync.Lock_runner.run (module L) ~model_of ~n ~entries ~policy ()
+
+let safety_cases =
+  List.concat_map
+    (fun (module L : Sync.Mutex_intf.LOCK) ->
+      List.map
+        (fun (pname, policy) ->
+          case
+            (Printf.sprintf "%s: mutual exclusion under %s" L.name pname)
+            (fun () ->
+              let o = run_lock (module L) ~model_of:dsm ~n:6 ~entries:3 ~policy in
+              check_true "no lost increments" o.Sync.Lock_runner.mutual_exclusion_held;
+              check_int "expected passages" 18 o.Sync.Lock_runner.passages))
+        [ ("round-robin", Schedule.Round_robin);
+          ("random seed 1", Schedule.Random_seed 1);
+          ("random seed 99", Schedule.Random_seed 99) ])
+    locks
+
+let prop_mutex_random_schedules =
+  List.map
+    (fun (module L : Sync.Mutex_intf.LOCK) ->
+      qcheck ~count:40
+        (Printf.sprintf "%s: mutual exclusion under random schedules" L.name)
+        QCheck.(pair (int_range 2 8) (int_bound 10_000))
+        (fun (n, seed) ->
+          let o =
+            run_lock (module L) ~model_of:dsm ~n ~entries:2
+              ~policy:(Schedule.Random_seed seed)
+          in
+          o.Sync.Lock_runner.mutual_exclusion_held))
+    locks
+
+(* RMR complexity: the Section 3 landscape, as inequalities robust to
+   constant factors. *)
+
+let per_passage (module L : Sync.Mutex_intf.LOCK) ~model_of ~n =
+  (run_lock (module L) ~model_of ~n ~entries:3 ~policy:(Schedule.Random_seed 42))
+    .Sync.Lock_runner.avg_rmrs_per_passage
+
+let test_mcs_constant_both_models () =
+  List.iter
+    (fun model_of ->
+      let small = per_passage (module Sync.Mcs_lock) ~model_of ~n:4 in
+      let large = per_passage (module Sync.Mcs_lock) ~model_of ~n:32 in
+      check_true
+        (Printf.sprintf "mcs flat: %.1f -> %.1f" small large)
+        (large < small +. 4.))
+    [ dsm; cc ]
+
+let test_yang_anderson_logarithmic () =
+  let at n = per_passage (module Sync.Yang_anderson) ~model_of:dsm ~n in
+  let r8 = at 8 and r32 = at 32 in
+  (* log2 32 / log2 8 = 5/3: doubling-ish, far from the 4x of a linear
+     lock.  Allow slack for constants. *)
+  check_true
+    (Printf.sprintf "ya grows sublinearly: %.1f -> %.1f" r8 r32)
+    (r32 < 2.5 *. r8);
+  check_true "ya grows at all" (r32 > r8)
+
+let test_tas_linear () =
+  let at n = per_passage (module Sync.Tas_lock) ~model_of:dsm ~n in
+  let r4 = at 4 and r16 = at 16 in
+  check_true
+    (Printf.sprintf "tas grows ~linearly: %.1f -> %.1f" r4 r16)
+    (r16 > 2.5 *. r4)
+
+let test_anderson_cc_constant_dsm_growing () =
+  let cc4 = per_passage (module Sync.Anderson_lock) ~model_of:cc ~n:4 in
+  let cc32 = per_passage (module Sync.Anderson_lock) ~model_of:cc ~n:32 in
+  let dsm4 = per_passage (module Sync.Anderson_lock) ~model_of:dsm ~n:4 in
+  let dsm32 = per_passage (module Sync.Anderson_lock) ~model_of:dsm ~n:32 in
+  check_true
+    (Printf.sprintf "anderson flat in CC: %.1f -> %.1f" cc4 cc32)
+    (cc32 < cc4 +. 4.);
+  check_true
+    (Printf.sprintf "anderson grows in DSM: %.1f -> %.1f" dsm4 dsm32)
+    (dsm32 > 3. *. dsm4)
+
+let test_clh_cc_local_only () =
+  (* CLH spins on the predecessor's rotating node: cache-local, DSM-remote
+     — the mirror image of MCS. *)
+  let cc4 = per_passage (module Sync.Clh_lock) ~model_of:cc ~n:4 in
+  let cc32 = per_passage (module Sync.Clh_lock) ~model_of:cc ~n:32 in
+  let dsm4 = per_passage (module Sync.Clh_lock) ~model_of:dsm ~n:4 in
+  let dsm32 = per_passage (module Sync.Clh_lock) ~model_of:dsm ~n:32 in
+  check_true
+    (Printf.sprintf "clh flat in CC: %.1f -> %.1f" cc4 cc32)
+    (cc32 < cc4 +. 4.);
+  check_true
+    (Printf.sprintf "clh grows in DSM: %.1f -> %.1f" dsm4 dsm32)
+    (dsm32 > 3. *. dsm4)
+
+let test_ticket_fifo_but_shared_spin () =
+  (* Ticket grows with N in both models (everyone spins on now-serving). *)
+  let at model_of n = per_passage (module Sync.Ticket_lock) ~model_of ~n in
+  check_true "ticket grows in CC" (at cc 32 > 2. *. at cc 4);
+  check_true "ticket grows in DSM" (at dsm 32 > 2. *. at dsm 4)
+
+let test_ttas_cheaper_than_tas_in_cc () =
+  let tas = per_passage (module Sync.Tas_lock) ~model_of:cc ~n:16 in
+  let ttas = per_passage (module Sync.Ttas_lock) ~model_of:cc ~n:16 in
+  check_true
+    (Printf.sprintf "ttas (%.1f) cheaper than tas (%.1f) in CC" ttas tas)
+    (ttas < tas)
+
+let test_bakery_linear_everywhere () =
+  (* Bakery scans every process per passage: Θ(N) in both models. *)
+  let at model_of n = per_passage (module Sync.Bakery_lock) ~model_of ~n in
+  check_true "bakery grows in CC" (at cc 32 > 2. *. at cc 4);
+  check_true "bakery grows in DSM" (at dsm 32 > 2. *. at dsm 4)
+
+let test_bakery_fcfs () =
+  (* First-come-first-served: a process that completes the doorway before
+     another begins it must enter the critical section first.  p2 holds
+     the lock while p0 then p1 finish their doorways; after p2 releases,
+     p0 must win regardless of how p0/p1 interleave. *)
+  let ctx = Var.Ctx.create () in
+  let lock = Sync.Bakery_lock.create ctx ~n:3 in
+  let layout = Var.Ctx.freeze ctx in
+  let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n:3 in
+  let acquire p = Program.map (fun () -> 0) (Sync.Bakery_lock.acquire lock p) in
+  let release p = Program.map (fun () -> 0) (Sync.Bakery_lock.release lock p) in
+  let sim, _ = Sim.run_call sim 2 ~label:"acq" (acquire 2) in
+  (* Doorway completion is observable as choosing[p] back to false with a
+     ticket taken; drive each process until that state. *)
+  let addr_named name =
+    match
+      List.find_opt
+        (fun a -> Var.layout_name layout a = name)
+        (Var.layout_addrs layout)
+    with
+    | Some a -> a
+    | None -> Alcotest.fail ("no variable named " ^ name)
+  in
+  let doorway sim p =
+    let choosing_addr = addr_named (Printf.sprintf "bakery.choosing[%d]" p) in
+    let number_addr = addr_named (Printf.sprintf "bakery.number[%d]" p) in
+    let sim = Sim.begin_call sim p ~label:"acq" (acquire p) in
+    let rec go sim fuel =
+      if fuel = 0 then Alcotest.fail "doorway never completed"
+      else if
+        Memory.get (Sim.memory sim) number_addr > 0
+        && Memory.get (Sim.memory sim) choosing_addr = 0
+      then sim
+      else go (Sim.advance sim p) (fuel - 1)
+    in
+    go sim 1_000
+  in
+  let sim = doorway sim 0 in
+  let sim = doorway sim 1 in
+  let sim, _ = Sim.run_call sim 2 ~label:"rel" (release 2) in
+  (* Alternate p1-first to bias against p0; FCFS must still let p0 in. *)
+  let rec race sim fuel =
+    if fuel = 0 then Alcotest.fail "nobody entered"
+    else if Sim.is_idle sim 0 then ()
+    else if Sim.is_idle sim 1 then Alcotest.fail "p1 jumped the queue"
+    else
+      let sim = if Sim.is_running sim 1 then Sim.advance sim 1 else sim in
+      let sim = if Sim.is_running sim 0 then Sim.advance sim 0 else sim in
+      race sim (fuel - 1)
+  in
+  race sim 10_000
+
+let test_exerciser_detects_broken_lock () =
+  (* A "lock" that never excludes anyone must be caught by the exerciser —
+     this validates the safety harness itself. *)
+  let module Broken = struct
+    let name = "broken"
+    let primitives = [ Op.Reads_writes ]
+
+    type t = unit
+
+    let create _ ~n:_ = ()
+    let acquire () _ = Program.return ()
+    let release () _ = Program.return ()
+  end in
+  let o =
+    run_lock (module Broken) ~model_of:dsm ~n:6 ~entries:3
+      ~policy:(Schedule.Random_seed 5)
+  in
+  check_false "racy counter catches the violation"
+    o.Sync.Lock_runner.mutual_exclusion_held
+
+let test_uncontended_acquire_cheap () =
+  (* A single process acquiring and releasing repeatedly: every lock should
+     be O(1)-ish per passage without contention. *)
+  List.iter
+    (fun (module L : Sync.Mutex_intf.LOCK) ->
+      let o = run_lock (module L) ~model_of:dsm ~n:1 ~entries:10 ~policy:Schedule.Round_robin in
+      check_true
+        (Printf.sprintf "%s uncontended: %.1f RMRs/passage" L.name
+           o.Sync.Lock_runner.avg_rmrs_per_passage)
+        (o.Sync.Lock_runner.avg_rmrs_per_passage <= 12.))
+    locks
+
+let suite =
+  safety_cases
+  @ prop_mutex_random_schedules
+  @ [ case "mcs is O(1) in both models" test_mcs_constant_both_models;
+      case "yang-anderson is ~log N" test_yang_anderson_logarithmic;
+      case "tas grows linearly" test_tas_linear;
+      case "anderson: CC-local only" test_anderson_cc_constant_dsm_growing;
+      case "clh: CC-local only" test_clh_cc_local_only;
+      case "ticket: shared spin grows in both models" test_ticket_fifo_but_shared_spin;
+      case "ttas beats tas in CC" test_ttas_cheaper_than_tas_in_cc;
+      case "bakery: linear in both models" test_bakery_linear_everywhere;
+      case "bakery: first-come-first-served" test_bakery_fcfs;
+      case "exerciser detects a broken lock" test_exerciser_detects_broken_lock;
+      case "uncontended passages are cheap" test_uncontended_acquire_cheap ]

@@ -1,0 +1,161 @@
+(* Tests for the persistent memory store: values, last-writer tracking,
+   writer sets and load-link validity. *)
+
+open Smr
+open Test_util
+
+let setup () =
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 7 in
+  let y = Var.Ctx.int ctx ~name:"y" ~home:(Var.Module 1) 0 in
+  let layout = Var.Ctx.freeze ctx in
+  (Memory.create layout, x, y)
+
+let test_initial_values () =
+  let mem, x, y = setup () in
+  check_int "declared initial value" 7 (Memory.get mem (Var.addr x));
+  check_int "zero default" 0 (Memory.get mem (Var.addr y));
+  check_true "no initial writer" (Memory.last_writer mem (Var.addr x) = None)
+
+let test_write_updates () =
+  let mem, x, _ = setup () in
+  let a = Var.addr x in
+  let { Memory.memory; response; wrote; read_from } =
+    Memory.apply mem ~pid:2 (Op.Write (a, 55))
+  in
+  check_int "write responds 0" 0 response;
+  check_true "write is nontrivial" wrote;
+  check_true "blind write observes nothing" (read_from = None);
+  check_int "value updated" 55 (Memory.get memory a);
+  check_true "last writer recorded" (Memory.last_writer memory a = Some 2);
+  check_true "writer set" (Memory.writers memory a = [ 2 ])
+
+let test_persistence () =
+  let mem, x, _ = setup () in
+  let a = Var.addr x in
+  let applied = Memory.apply mem ~pid:0 (Op.Write (a, 99)) in
+  check_int "old snapshot unchanged" 7 (Memory.get mem a);
+  check_int "new state updated" 99 (Memory.get applied.Memory.memory a)
+
+let test_read_from_tracks_last_writer () =
+  let mem, x, _ = setup () in
+  let a = Var.addr x in
+  let m1 = (Memory.apply mem ~pid:3 (Op.Write (a, 1))).Memory.memory in
+  let r = Memory.apply m1 ~pid:0 (Op.Read a) in
+  check_true "reader sees writer" (r.Memory.read_from = Some 3);
+  (* A failed CAS also observes the value. *)
+  let c = Memory.apply m1 ~pid:0 (Op.Cas (a, 42, 43)) in
+  check_int "cas failed" 0 c.Memory.response;
+  check_true "failed cas observes last writer" (c.Memory.read_from = Some 3)
+
+let test_multi_writer_set () =
+  let mem, x, _ = setup () in
+  let a = Var.addr x in
+  let m1 = (Memory.apply mem ~pid:1 (Op.Write (a, 1))).Memory.memory in
+  let m2 = (Memory.apply m1 ~pid:2 (Op.Write (a, 2))).Memory.memory in
+  let m3 = (Memory.apply m2 ~pid:1 (Op.Write (a, 3))).Memory.memory in
+  check_true "writers accumulate" (List.sort compare (Memory.writers m3 a) = [ 1; 2 ]);
+  check_true "last writer is most recent" (Memory.last_writer m3 a = Some 1)
+
+let test_failed_cas_does_not_take_last_writer () =
+  let mem, x, _ = setup () in
+  let a = Var.addr x in
+  let m1 = (Memory.apply mem ~pid:1 (Op.Write (a, 1))).Memory.memory in
+  let c = Memory.apply m1 ~pid:2 (Op.Cas (a, 9, 10)) in
+  check_false "failed cas not a write" c.Memory.wrote;
+  check_true "last writer unchanged"
+    (Memory.last_writer c.Memory.memory a = Some 1)
+
+let test_ll_sc_protocol () =
+  let mem, x, _ = setup () in
+  let a = Var.addr x in
+  (* p0 links, then stores conditionally: succeeds. *)
+  let m1 = (Memory.apply mem ~pid:0 (Op.Ll a)).Memory.memory in
+  check_true "link recorded" (Memory.ll_valid m1 ~pid:0 a);
+  let sc = Memory.apply m1 ~pid:0 (Op.Sc (a, 5)) in
+  check_int "sc succeeds" 1 sc.Memory.response;
+  (* The successful SC invalidates every link, including p0's own. *)
+  check_false "links cleared" (Memory.ll_valid sc.Memory.memory ~pid:0 a)
+
+let test_sc_broken_by_interfering_write () =
+  let mem, x, _ = setup () in
+  let a = Var.addr x in
+  let m1 = (Memory.apply mem ~pid:0 (Op.Ll a)).Memory.memory in
+  let m2 = (Memory.apply m1 ~pid:1 (Op.Write (a, 9))).Memory.memory in
+  check_false "write invalidates link" (Memory.ll_valid m2 ~pid:0 a);
+  let sc = Memory.apply m2 ~pid:0 (Op.Sc (a, 5)) in
+  check_int "sc fails after interference" 0 sc.Memory.response;
+  check_int "failed sc leaves value" 9 (Memory.get sc.Memory.memory a)
+
+let test_sc_not_broken_by_read () =
+  let mem, x, _ = setup () in
+  let a = Var.addr x in
+  let m1 = (Memory.apply mem ~pid:0 (Op.Ll a)).Memory.memory in
+  let m2 = (Memory.apply m1 ~pid:1 (Op.Read a)).Memory.memory in
+  let m3 = (Memory.apply m2 ~pid:1 (Op.Cas (a, 999, 0))).Memory.memory in
+  (* the CAS failed, so it is trivial and must not break the link *)
+  check_true "trivial ops preserve link" (Memory.ll_valid m3 ~pid:0 a);
+  let sc = Memory.apply m3 ~pid:0 (Op.Sc (a, 5)) in
+  check_int "sc still succeeds" 1 sc.Memory.response
+
+let test_two_links () =
+  let mem, x, _ = setup () in
+  let a = Var.addr x in
+  let m1 = (Memory.apply mem ~pid:0 (Op.Ll a)).Memory.memory in
+  let m2 = (Memory.apply m1 ~pid:1 (Op.Ll a)).Memory.memory in
+  let sc0 = Memory.apply m2 ~pid:0 (Op.Sc (a, 5)) in
+  check_int "first sc wins" 1 sc0.Memory.response;
+  let sc1 = Memory.apply sc0.Memory.memory ~pid:1 (Op.Sc (a, 6)) in
+  check_int "second sc loses" 0 sc1.Memory.response
+
+(* Reference model: fold invocations over a plain association list and
+   compare final values with Memory. *)
+let prop_matches_reference =
+  let arb_ops =
+    QCheck.small_list
+      (QCheck.make
+         QCheck.Gen.(
+           pair (int_bound 3)
+             (oneof
+                [ map (fun a -> Op.Read a) (int_bound 3);
+                  map2 (fun a v -> Op.Write (a, v)) (int_bound 3) (int_bound 9);
+                  map3 (fun a e u -> Op.Cas (a, e, u)) (int_bound 3) (int_bound 9)
+                    (int_bound 9);
+                  map2 (fun a d -> Op.Faa (a, d)) (int_bound 3) (int_bound 9);
+                  map2 (fun a v -> Op.Fas (a, v)) (int_bound 3) (int_bound 9);
+                  map (fun a -> Op.Tas a) (int_bound 3) ])))
+  in
+  qcheck "memory agrees with a reference fold" arb_ops (fun ops ->
+      let layout = Var.Ctx.freeze (Var.Ctx.create ()) in
+      let mem = Memory.create layout in
+      let reference = Hashtbl.create 8 in
+      let get_ref a = Option.value ~default:0 (Hashtbl.find_opt reference a) in
+      let final =
+        List.fold_left
+          (fun mem (pid, inv) ->
+            let a = Op.addr_of inv in
+            let expected = Op.execute ~current:(get_ref a) ~ll_valid:false inv in
+            (match expected.Op.new_value with
+            | Some v -> Hashtbl.replace reference a v
+            | None -> ());
+            let applied = Memory.apply mem ~pid inv in
+            if applied.Memory.response <> expected.Op.response then
+              QCheck.Test.fail_reportf "response mismatch on %s"
+                (Op.show_invocation inv);
+            applied.Memory.memory)
+          mem ops
+      in
+      List.for_all (fun a -> Memory.get final a = get_ref a) [ 0; 1; 2; 3 ])
+
+let suite =
+  [ case "initial values" test_initial_values;
+    case "write updates value and writer" test_write_updates;
+    case "persistence of snapshots" test_persistence;
+    case "read_from tracks last writer" test_read_from_tracks_last_writer;
+    case "multi-writer set accumulates" test_multi_writer_set;
+    case "failed cas leaves last writer" test_failed_cas_does_not_take_last_writer;
+    case "ll/sc basic protocol" test_ll_sc_protocol;
+    case "sc broken by interfering write" test_sc_broken_by_interfering_write;
+    case "sc survives trivial operations" test_sc_not_broken_by_read;
+    case "competing links: one sc wins" test_two_links;
+    prop_matches_reference ]

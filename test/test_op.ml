@@ -1,0 +1,144 @@
+(* Unit and property tests for the operation vocabulary (Op). *)
+
+open Smr
+open Test_util
+
+let exec ?(current = 0) ?(ll_valid = false) inv =
+  Op.execute ~current ~ll_valid inv
+
+let test_read () =
+  let e = exec ~current:7 (Op.Read 0) in
+  check_int "read returns current" 7 e.Op.response;
+  check_true "read is trivial" (e.Op.new_value = None)
+
+let test_write () =
+  let e = exec ~current:7 (Op.Write (0, 9)) in
+  check_int "write responds 0" 0 e.Op.response;
+  check_true "write overwrites" (e.Op.new_value = Some 9)
+
+let test_write_same_value_nontrivial () =
+  (* "A nontrivial operation overwrites a memory location, possibly with
+     the same value as before" (Sec. 2). *)
+  let e = exec ~current:5 (Op.Write (0, 5)) in
+  check_true "write of same value is still nontrivial" (e.Op.new_value = Some 5)
+
+let test_cas_success () =
+  let e = exec ~current:3 (Op.Cas (0, 3, 8)) in
+  check_int "cas success responds 1" 1 e.Op.response;
+  check_true "cas success writes" (e.Op.new_value = Some 8)
+
+let test_cas_failure () =
+  let e = exec ~current:4 (Op.Cas (0, 3, 8)) in
+  check_int "cas failure responds 0" 0 e.Op.response;
+  check_true "cas failure is trivial" (e.Op.new_value = None)
+
+let test_ll_sc () =
+  let e = exec ~current:2 (Op.Ll 0) in
+  check_int "ll returns current" 2 e.Op.response;
+  check_true "ll is trivial" (e.Op.new_value = None);
+  let ok = exec ~current:2 ~ll_valid:true (Op.Sc (0, 9)) in
+  check_int "sc with link succeeds" 1 ok.Op.response;
+  check_true "sc with link writes" (ok.Op.new_value = Some 9);
+  let fail = exec ~current:2 ~ll_valid:false (Op.Sc (0, 9)) in
+  check_int "sc without link fails" 0 fail.Op.response;
+  check_true "failed sc is trivial" (fail.Op.new_value = None)
+
+let test_faa () =
+  let e = exec ~current:10 (Op.Faa (0, 3)) in
+  check_int "faa returns old" 10 e.Op.response;
+  check_true "faa adds" (e.Op.new_value = Some 13)
+
+let test_fas () =
+  let e = exec ~current:10 (Op.Fas (0, 4)) in
+  check_int "fas returns old" 10 e.Op.response;
+  check_true "fas stores" (e.Op.new_value = Some 4)
+
+let test_tas () =
+  let e = exec ~current:0 (Op.Tas 0) in
+  check_int "tas returns old" 0 e.Op.response;
+  check_true "tas sets 1" (e.Op.new_value = Some 1);
+  let e2 = exec ~current:1 (Op.Tas 0) in
+  check_int "second tas returns 1" 1 e2.Op.response
+
+let test_addr_of () =
+  List.iter
+    (fun inv -> check_int "addr_of" 42 (Op.addr_of inv))
+    [ Op.Read 42; Op.Write (42, 0); Op.Cas (42, 0, 1); Op.Ll 42;
+      Op.Sc (42, 1); Op.Faa (42, 1); Op.Fas (42, 1); Op.Tas 42 ]
+
+let test_classification () =
+  check_true "read is read-only" (Op.is_read_only (Op.Read 0));
+  check_true "ll is read-only" (Op.is_read_only (Op.Ll 0));
+  check_false "cas is not read-only" (Op.is_read_only (Op.Cas (0, 0, 1)));
+  check_true "cas is comparison" (Op.is_comparison (Op.Cas (0, 0, 1)));
+  check_true "sc is comparison" (Op.is_comparison (Op.Sc (0, 1)));
+  check_false "faa is not comparison" (Op.is_comparison (Op.Faa (0, 1)))
+
+let test_primitive_classes () =
+  let open Op in
+  check_true "read class" (primitive_class (Read 0) = Reads_writes);
+  check_true "write class" (primitive_class (Write (0, 1)) = Reads_writes);
+  check_true "cas class" (primitive_class (Cas (0, 0, 1)) = Comparison);
+  check_true "ll class" (primitive_class (Ll 0) = Comparison);
+  check_true "faa class" (primitive_class (Faa (0, 1)) = Fetch_and_phi);
+  check_true "tas class" (primitive_class (Tas 0) = Fetch_and_phi)
+
+let arb_inv =
+  QCheck.make
+    ~print:Op.show_invocation
+    QCheck.Gen.(
+      oneof
+        [ map (fun a -> Op.Read a) (int_bound 7);
+          map2 (fun a v -> Op.Write (a, v)) (int_bound 7) (int_bound 15);
+          map3 (fun a e u -> Op.Cas (a, e, u)) (int_bound 7) (int_bound 15)
+            (int_bound 15);
+          map (fun a -> Op.Ll a) (int_bound 7);
+          map2 (fun a v -> Op.Sc (a, v)) (int_bound 7) (int_bound 15);
+          map2 (fun a d -> Op.Faa (a, d)) (int_bound 7) (int_bound 15);
+          map2 (fun a v -> Op.Fas (a, v)) (int_bound 7) (int_bound 15);
+          map (fun a -> Op.Tas a) (int_bound 7) ])
+
+let prop_read_only_never_writes =
+  qcheck "read-only operations never produce a new value"
+    QCheck.(pair arb_inv (int_bound 100))
+    (fun (inv, current) ->
+      let e = Op.execute ~current ~ll_valid:true inv in
+      QCheck.assume (Op.is_read_only inv);
+      e.Op.new_value = None)
+
+let prop_fetch_ops_return_old =
+  qcheck "faa/fas/tas always return the previous value"
+    QCheck.(pair arb_inv (int_bound 100))
+    (fun (inv, current) ->
+      QCheck.assume
+        (match Op.kind inv with
+        | Op.K_faa | Op.K_fas | Op.K_tas -> true
+        | _ -> false);
+      (Op.execute ~current ~ll_valid:false inv).Op.response = current)
+
+let prop_nontrivial_iff_overwrite =
+  qcheck "successful comparison ops overwrite; failed ones do not"
+    QCheck.(triple arb_inv (int_bound 100) QCheck.bool)
+    (fun (inv, current, ll_valid) ->
+      let e = Op.execute ~current ~ll_valid inv in
+      match inv with
+      | Op.Cas (_, expected, _) -> (e.Op.new_value <> None) = (current = expected)
+      | Op.Sc _ -> (e.Op.new_value <> None) = ll_valid
+      | _ -> true)
+
+let suite =
+  [ case "read" test_read;
+    case "write" test_write;
+    case "write same value is nontrivial" test_write_same_value_nontrivial;
+    case "cas success" test_cas_success;
+    case "cas failure" test_cas_failure;
+    case "ll/sc" test_ll_sc;
+    case "faa" test_faa;
+    case "fas" test_fas;
+    case "tas" test_tas;
+    case "addr_of" test_addr_of;
+    case "read-only / comparison classification" test_classification;
+    case "primitive classes" test_primitive_classes;
+    prop_read_only_never_writes;
+    prop_fetch_ops_return_old;
+    prop_nontrivial_iff_overwrite ]

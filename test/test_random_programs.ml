@@ -1,0 +1,190 @@
+(* Property tests over randomly generated programs: the simulator-level
+   invariants everything else relies on.
+
+   - replay soundness: replaying a trace keeping everyone reproduces the
+     exact same history;
+   - model non-interference: cost models never change execution, only its
+     classification;
+   - re-accounting consistency: History.reaccount under the run's own
+     model reproduces the run's own flags;
+   - disjoint-footprint erasure: a process whose operations touch only its
+     own addresses can always be erased, and survivors keep their
+     accounting. *)
+
+open Smr
+open Test_util
+
+let n_addrs = 6
+
+(* A random invocation on a bounded address space. *)
+let gen_inv ~addr_of =
+  QCheck.Gen.(
+    int_bound 7 >>= fun kind ->
+    map2
+      (fun a v ->
+        let a = addr_of a in
+        match kind with
+        | 0 -> Op.Read a
+        | 1 -> Op.Write (a, v)
+        | 2 -> Op.Cas (a, v mod 4, (v + 1) mod 4)
+        | 3 -> Op.Ll a
+        | 4 -> Op.Sc (a, v)
+        | 5 -> Op.Faa (a, (v mod 3) + 1)
+        | 6 -> Op.Fas (a, v)
+        | _ -> Op.Tas a)
+      (int_bound (n_addrs - 1))
+      (int_bound 7))
+
+let gen_program ~addr_of =
+  QCheck.Gen.(
+    list_size (int_range 1 8) (gen_inv ~addr_of) >|= fun invs ->
+    List.fold_right
+      (fun inv rest -> Program.bind (Program.step inv) (fun _ -> rest))
+      invs (Program.return 0))
+
+(* A machine with [k] processes and a shared address space; each process
+   runs [calls] random programs under a seeded random schedule. *)
+let arb_workload =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 4 >>= fun k ->
+      int_bound 10_000 >>= fun seed ->
+      list_size (return k)
+        (list_size (int_range 1 3) (gen_program ~addr_of:Fun.id))
+      >|= fun programs -> (k, seed, programs))
+  in
+  QCheck.make gen
+
+let build_and_run (k, seed, programs) =
+  let ctx = Var.Ctx.create () in
+  for i = 0 to n_addrs - 1 do
+    ignore
+      (Var.Ctx.int ctx
+         ~name:(Printf.sprintf "a%d" i)
+         ~home:(if i < k then Var.Module i else Var.Shared)
+         0)
+  done;
+  let layout = Var.Ctx.freeze ctx in
+  let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n:k in
+  let behavior =
+    Schedule.script
+      (List.mapi
+         (fun p progs ->
+           (p, List.mapi (fun i prog -> (Printf.sprintf "c%d" i, prog)) progs))
+         programs)
+  in
+  Schedule.run ~policy:(Schedule.Random_seed seed) ~behavior
+    ~pids:(List.init k Fun.id) sim
+
+let steps_signature sim =
+  List.map
+    (fun (s : History.step) ->
+      (s.History.time, s.History.pid, s.History.inv, s.History.response))
+    (Sim.steps sim)
+
+let prop_replay_identity =
+  qcheck ~count:100 "replay keeping everyone reproduces the history"
+    arb_workload
+    (fun w ->
+      let sim = build_and_run w in
+      let replayed = Sim.replay ~check:true ~keep:(fun _ -> true) sim in
+      steps_signature replayed = steps_signature sim)
+
+let prop_models_do_not_interfere =
+  qcheck ~count:100 "cost models never change execution" arb_workload
+    (fun (k, seed, programs) ->
+      let run model_of =
+        let ctx = Var.Ctx.create () in
+        for i = 0 to n_addrs - 1 do
+          ignore
+            (Var.Ctx.int ctx
+               ~name:(Printf.sprintf "a%d" i)
+               ~home:(if i < k then Var.Module i else Var.Shared)
+               0)
+        done;
+        let layout = Var.Ctx.freeze ctx in
+        let sim = Sim.create ~model:(model_of layout) ~layout ~n:k in
+        let behavior =
+          Schedule.script
+            (List.mapi
+               (fun p progs ->
+                 (p, List.mapi (fun i prog -> (Printf.sprintf "c%d" i, prog)) progs))
+               programs)
+        in
+        Schedule.run ~policy:(Schedule.Random_seed seed) ~behavior
+          ~pids:(List.init k Fun.id) sim
+      in
+      let dsm = run Cost_model.dsm in
+      let cc = run (fun _ -> Cc.model ~n:k ()) in
+      let strip sim =
+        List.map
+          (fun (s : History.step) -> (s.History.pid, s.History.inv, s.History.response))
+          (Sim.steps sim)
+      in
+      strip dsm = strip cc)
+
+let prop_reaccount_consistent =
+  qcheck ~count:100 "reaccounting under the run's own model is the identity"
+    arb_workload
+    (fun w ->
+      let sim = build_and_run w in
+      let steps = Sim.steps sim in
+      let reaccounted =
+        History.reaccount (Cost_model.dsm (Sim.layout sim)) steps
+      in
+      List.for_all2
+        (fun (a : History.step) (b : History.step) ->
+          a.History.rmr = b.History.rmr && a.History.messages = b.History.messages)
+        steps reaccounted)
+
+(* Disjoint footprints: each process only touches its own module. *)
+let arb_disjoint =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 4 >>= fun k ->
+      int_bound 10_000 >>= fun seed ->
+      list_size (return k) (list_size (int_range 1 2) (gen_program ~addr_of:Fun.id))
+      >|= fun programs -> (k, seed, programs))
+  in
+  QCheck.make gen
+
+let prop_disjoint_erasure =
+  qcheck ~count:80 "disjoint-footprint processes are always erasable"
+    arb_disjoint
+    (fun (k, seed, programs) ->
+      (* Remap each process's programs onto its own private address. *)
+      let remap p prog =
+        let rec go = function
+          | Program.Return v -> Program.Return v
+          | Program.Step (inv, f) ->
+            let fix a = ignore a; p in
+            let inv =
+              match inv with
+              | Op.Read a -> Op.Read (fix a)
+              | Op.Write (a, v) -> Op.Write (fix a, v)
+              | Op.Cas (a, e, u) -> Op.Cas (fix a, e, u)
+              | Op.Ll a -> Op.Ll (fix a)
+              | Op.Sc (a, v) -> Op.Sc (fix a, v)
+              | Op.Faa (a, d) -> Op.Faa (fix a, d)
+              | Op.Fas (a, v) -> Op.Fas (fix a, v)
+              | Op.Tas a -> Op.Tas (fix a)
+            in
+            Program.Step (inv, fun v -> go (f v))
+        in
+        go prog
+      in
+      let programs = List.mapi (fun p progs -> List.map (remap p) progs) programs in
+      let sim = build_and_run (k, seed, programs) in
+      let victim = seed mod k in
+      match Sim.erase sim [ victim ] with
+      | erased ->
+        List.for_all
+          (fun p -> p = victim || Sim.rmrs erased p = Sim.rmrs sim p)
+          (List.init k Fun.id)
+      | exception Sim.Replay_divergence _ -> false)
+
+let suite =
+  [ prop_replay_identity;
+    prop_models_do_not_interfere;
+    prop_reaccount_consistent;
+    prop_disjoint_erasure ]

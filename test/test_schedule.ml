@@ -1,0 +1,90 @@
+(* Tests for the scheduling drivers. *)
+
+open Smr
+open Test_util
+
+let machine ~n =
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let layout = Var.Ctx.freeze ctx in
+  (Sim.create ~model:(Cost_model.dsm layout) ~layout ~n, x)
+
+let incr_prog x =
+  Program.map (fun _ -> 0) (Program.step (Op.Faa (Var.addr x, 1)))
+
+let test_script_runs_in_order () =
+  let sim, x = machine ~n:2 in
+  let behavior =
+    Schedule.script
+      [ (0, [ ("a", incr_prog x); ("b", incr_prog x) ]);
+        (1, [ ("c", incr_prog x) ]) ]
+  in
+  let sim =
+    Schedule.run ~policy:Schedule.Round_robin ~behavior ~pids:[ 0; 1 ] sim
+  in
+  check_int "three increments" 3 (Memory.get (Sim.memory sim) (Var.addr x));
+  check_true "all terminated"
+    (Sim.is_terminated sim 0 && Sim.is_terminated sim 1);
+  check_int "p0 made two calls" 2 (List.length (Sim.calls_of sim 0))
+
+let test_random_is_deterministic_per_seed () =
+  let run seed =
+    let sim, x = machine ~n:4 in
+    let behavior =
+      Schedule.script
+        (List.init 4 (fun p -> (p, [ ("a", incr_prog x); ("b", incr_prog x) ])))
+    in
+    let sim =
+      Schedule.run ~policy:(Schedule.Random_seed seed) ~behavior
+        ~pids:[ 0; 1; 2; 3 ] sim
+    in
+    List.map (fun (s : History.step) -> s.History.pid) (Sim.steps sim)
+  in
+  check_true "same seed, same history" (run 7 = run 7);
+  check_true "all increments happen" (List.length (run 7) = 8)
+
+let test_random_completes_despite_terminated_majority () =
+  (* One slow process among many already-stopped ones: the driver must not
+     give up (regression test for the stuck heuristic). *)
+  let sim, x = machine ~n:8 in
+  let behavior =
+    Schedule.script
+      ((0, List.init 20 (fun i -> (Printf.sprintf "c%d" i, incr_prog x)))
+      :: List.init 7 (fun p -> (p + 1, [])))
+  in
+  let sim =
+    Schedule.run ~policy:(Schedule.Random_seed 3) ~behavior
+      ~pids:(List.init 8 Fun.id) sim
+  in
+  check_int "all twenty calls ran" 20 (Memory.get (Sim.memory sim) (Var.addr x))
+
+let test_pause_only_ends_run () =
+  let sim, _ = machine ~n:2 in
+  let behavior _ _ : Schedule.action = Pause in
+  let sim =
+    Schedule.run ~policy:(Schedule.Random_seed 1) ~behavior ~pids:[ 0; 1 ] sim
+  in
+  check_true "nothing happened" (Sim.steps sim = [])
+
+let test_fixed_policy () =
+  let sim, x = machine ~n:2 in
+  let behavior = Schedule.script [ (0, [ ("a", incr_prog x) ]); (1, [ ("b", incr_prog x) ]) ] in
+  (* Poke p1 twice (begin + step is one poke each... begin starts the call,
+     second poke advances it), then p0. *)
+  let sim =
+    Schedule.run ~policy:(Schedule.Fixed [ 1; 1; 0; 0 ]) ~behavior ~pids:[ 0; 1 ]
+      sim
+  in
+  match Sim.steps sim with
+  | [ s1; s2 ] ->
+    check_int "p1 stepped first" 1 s1.History.pid;
+    check_int "p0 stepped second" 0 s2.History.pid;
+    ignore s2
+  | steps -> Alcotest.fail (Printf.sprintf "expected 2 steps, got %d" (List.length steps))
+
+let suite =
+  [ case "script runs in order" test_script_runs_in_order;
+    case "random schedule deterministic per seed" test_random_is_deterministic_per_seed;
+    case "random survives terminated majority" test_random_completes_despite_terminated_majority;
+    case "pause-only run ends" test_pause_only_ends_run;
+    case "fixed policy" test_fixed_policy ]

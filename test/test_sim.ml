@@ -1,0 +1,234 @@
+(* Tests for the simulator: call lifecycle, peeking, accounting, and — most
+   importantly — replay-based erasure (Lemma 6.7). *)
+
+open Smr
+open Program.Syntax
+open Test_util
+
+let alloc_pair ctx =
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let y = Var.Ctx.int ctx ~name:"y" ~home:(Var.Module 1) 3 in
+  (x, y)
+
+let test_call_lifecycle () =
+  let sim, _, (x, _) = solo_machine alloc_pair in
+  check_true "initially idle" (Sim.is_idle sim 0);
+  let prog =
+    let* v = Program.read x in
+    Program.return (v + 100)
+  in
+  let sim = Sim.begin_call sim 0 ~label:"f" prog in
+  check_true "running" (Sim.is_running sim 0);
+  check_true "peek shows the read"
+    (Sim.peek sim 0 = Some (Op.Read (Var.addr x)));
+  let sim = Sim.advance sim 0 in
+  check_true "idle after final step" (Sim.is_idle sim 0);
+  check_true "result recorded" (Sim.last_result sim 0 = Some 100);
+  let calls = Sim.calls_of sim 0 in
+  check_int "one call" 1 (List.length calls);
+  let c = List.hd calls in
+  check_true "label" (c.History.c_label = "f");
+  check_int "one step" 1 c.History.c_steps
+
+let test_immediate_return () =
+  let sim, _, _ = solo_machine alloc_pair in
+  let sim, v = Sim.run_call sim 0 ~label:"nop" (Program.return 7) in
+  check_int "value" 7 v;
+  check_int "no steps" 0 (List.length (Sim.steps sim));
+  check_int "but a call" 1 (List.length (Sim.calls sim))
+
+let test_begin_while_running_rejected () =
+  let sim, _, (x, _) = solo_machine alloc_pair in
+  let sim = Sim.begin_call sim 0 ~label:"f" (Program.step (Op.Read (Var.addr x))) in
+  Alcotest.check_raises "double begin"
+    (Invalid_argument "Sim.begin_call: process already in a call") (fun () ->
+      ignore (Sim.begin_call sim 0 ~label:"g" (Program.return 0)))
+
+let test_terminate_rules () =
+  let sim, _, (x, _) = solo_machine alloc_pair in
+  let sim' = Sim.begin_call sim 0 ~label:"f" (Program.step (Op.Read (Var.addr x))) in
+  Alcotest.check_raises "terminate mid-call"
+    (Invalid_argument "Sim.terminate: process mid-call") (fun () ->
+      ignore (Sim.terminate sim' 0));
+  let sim = Sim.terminate sim 0 in
+  check_true "terminated" (Sim.is_terminated sim 0);
+  Alcotest.check_raises "begin after terminate"
+    (Invalid_argument "Sim.begin_call: process terminated") (fun () ->
+      ignore (Sim.begin_call sim 0 ~label:"f" (Program.return 0)))
+
+let test_clock_orders_calls_and_steps () =
+  let sim, _, (x, _) = solo_machine alloc_pair in
+  let sim, _ = Sim.run_call sim 0 ~label:"a" (Program.step (Op.Read (Var.addr x))) in
+  let sim, _ = Sim.run_call sim 1 ~label:"b" (Program.step (Op.Read (Var.addr x))) in
+  match Sim.calls sim with
+  | [ a; b ] ->
+    check_true "a before b"
+      (Option.get a.History.c_finished < b.History.c_started)
+  | _ -> Alcotest.fail "expected two calls"
+
+let test_rmr_accounting_incremental () =
+  let sim, _, (x, y) = solo_machine alloc_pair in
+  let prog =
+    let* _ = Program.read x (* shared: RMR *) in
+    let* _ = Program.read y (* p1's module, run by p0: RMR *) in
+    Program.write y 9 (* RMR *)
+  in
+  let sim = run_unit sim prog in
+  check_int "three RMRs for p0" 3 (Sim.rmrs sim 0);
+  check_int "total matches" 3 (Sim.total_rmrs sim);
+  check_int "step count" 3 (Sim.step_count sim 0);
+  (* Incremental counters agree with recomputation from steps. *)
+  let t = History.tally_by_pid (Sim.steps sim) in
+  check_int "tally agrees" (History.Pid_map.find 0 t).History.t_rmrs
+    (Sim.rmrs sim 0)
+
+let test_next_is_rmr () =
+  let sim, _, (_, y) = solo_machine alloc_pair in
+  let sim = Sim.begin_call sim 0 ~label:"f" (Program.step (Op.Read (Var.addr y))) in
+  check_true "remote read predicted" (Sim.next_is_rmr sim 0 = Some true);
+  let sim1 = Sim.begin_call sim 1 ~label:"f" (Program.step (Op.Read (Var.addr y))) in
+  check_true "local read predicted" (Sim.next_is_rmr sim1 1 = Some false)
+
+let test_run_to_idle_fuel () =
+  let sim, _, (x, _) = solo_machine alloc_pair in
+  let spin = Program.map (fun () -> 0) (Program.await x (fun v -> v > 0)) in
+  let sim = Sim.begin_call sim 0 ~label:"spin" spin in
+  Alcotest.check_raises "fuel exhausted" (Failure "Sim.run_to_idle: out of fuel")
+    (fun () -> ignore (Sim.run_to_idle ~fuel:50 sim 0))
+
+(* --- erasure --- *)
+
+let test_erase_invisible () =
+  (* p1 writes its own variable; p0 reads an unrelated one.  Erasing p1
+     leaves p0's history intact. *)
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let w = Var.Ctx.int ctx ~name:"w" ~home:(Var.Module 1) 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n:2 in
+  let sim, _ = Sim.run_call sim 0 ~label:"r" (Program.step (Op.Read (Var.addr x))) in
+  let sim, _ = Sim.run_call sim 1 ~label:"w" (Program.step (Op.Write (Var.addr w, 5))) in
+  check_true "both participate"
+    (Sim.Pid_set.cardinal (Sim.participants sim) = 2);
+  let erased = Sim.erase sim [ 1 ] in
+  check_true "only p0 remains"
+    (Sim.Pid_set.elements (Sim.participants erased) = [ 0 ]);
+  check_int "p0's steps survive" 1 (List.length (Sim.steps erased));
+  check_int "p1's write is gone" 0 (Memory.get (Sim.memory erased) (Var.addr w))
+
+let test_erase_visible_diverges () =
+  (* p0 reads a value p1 wrote; erasing p1 changes p0's response. *)
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n:2 in
+  let sim, _ = Sim.run_call sim 1 ~label:"w" (Program.step (Op.Write (Var.addr x, 5))) in
+  let sim, v = Sim.run_call sim 0 ~label:"r" (Program.step (Op.Read (Var.addr x))) in
+  check_int "p0 saw the write" 5 v;
+  check_false "p1 is not erasable" (Sim.can_erase sim [ 1 ]);
+  check_true "erase raises"
+    (match Sim.erase sim [ 1 ] with
+    | (_ : Sim.t) -> false
+    | exception Sim.Replay_divergence { pid = 0; _ } -> true
+    | exception Sim.Replay_divergence _ -> false)
+
+let test_erase_fai_chain_diverges () =
+  (* Two FAIs: the second's response depends on the first — the mechanism
+     that defeats the adversary against the queue algorithm. *)
+  let ctx = Var.Ctx.create () in
+  let c = Var.Ctx.int ctx ~name:"c" ~home:Var.Shared 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n:2 in
+  let fai p sim =
+    fst (Sim.run_call sim p ~label:"fai" (Program.step (Op.Faa (Var.addr c, 1))))
+  in
+  let sim = fai 0 sim in
+  let sim = fai 1 sim in
+  check_false "first FAIer visible to second" (Sim.can_erase sim [ 0 ]);
+  check_true "last FAIer invisible" (Sim.can_erase sim [ 1 ])
+
+let test_erase_blind_write_chain_ok () =
+  (* Two blind writes to the same variable: the earlier writer is
+     overwritten and invisible... but erasing the LAST writer changes the
+     final memory, which no one has read, so it is still erasable. *)
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n:2 in
+  let w p v sim =
+    fst (Sim.run_call sim p ~label:"w" (Program.step (Op.Write (Var.addr x, v))))
+  in
+  let sim = w 0 1 sim in
+  let sim = w 1 2 sim in
+  check_true "overwritten writer erasable" (Sim.can_erase sim [ 0 ]);
+  check_true "unread last writer erasable" (Sim.can_erase sim [ 1 ])
+
+let test_erase_mid_call_preserves_state () =
+  (* Erase a bystander while p0 is mid-call; p0's continuation must be
+     reconstructed exactly. *)
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let w = Var.Ctx.int ctx ~name:"w" ~home:(Var.Module 1) 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n:2 in
+  let prog =
+    let* a = Program.read x in
+    let* b = Program.read x in
+    Program.return (a + b)
+  in
+  let sim = Sim.begin_call sim 0 ~label:"f" (Program.map Fun.id prog) in
+  let sim = Sim.advance sim 0 in
+  let sim, _ = Sim.run_call sim 1 ~label:"w" (Program.step (Op.Write (Var.addr w, 5))) in
+  let erased = Sim.erase sim [ 1 ] in
+  check_true "p0 still mid-call" (Sim.is_running erased 0);
+  let finished = Sim.run_to_idle erased 0 in
+  check_true "call completes with original semantics"
+    (Sim.last_result finished 0 = Some 0)
+
+let prop_erasure_preserves_survivor_rmrs =
+  (* Run k processes on disjoint variables under a random interleaving;
+     erasing any subset never changes the others' RMR counts. *)
+  qcheck ~count:60 "erasing invisible processes preserves survivors' accounting"
+    QCheck.(pair (int_range 2 5) (int_bound 1000))
+    (fun (k, seed) ->
+      let ctx = Var.Ctx.create () in
+      let vars =
+        Array.init k (fun i ->
+            Var.Ctx.int ctx ~name:(Printf.sprintf "v%d" i) ~home:(Var.Module i) 0)
+      in
+      let layout = Var.Ctx.freeze ctx in
+      let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n:k in
+      let prog i =
+        let* () = Program.write vars.(i) 1 in
+        let* v = Program.read vars.(i) in
+        Program.return v
+      in
+      let behavior sim p : Schedule.action =
+        if Sim.last_result sim p <> None then Stop
+        else Start ("f", prog p)
+      in
+      let sim =
+        Schedule.run ~policy:(Schedule.Random_seed seed) ~behavior
+          ~pids:(List.init k Fun.id) sim
+      in
+      let victim = seed mod k in
+      let erased = Sim.erase sim [ victim ] in
+      List.for_all
+        (fun p -> p = victim || Sim.rmrs erased p = Sim.rmrs sim p)
+        (List.init k Fun.id))
+
+let suite =
+  [ case "call lifecycle" test_call_lifecycle;
+    case "immediate return" test_immediate_return;
+    case "begin while running rejected" test_begin_while_running_rejected;
+    case "terminate rules" test_terminate_rules;
+    case "event clock orders calls" test_clock_orders_calls_and_steps;
+    case "rmr accounting incremental" test_rmr_accounting_incremental;
+    case "next_is_rmr prediction" test_next_is_rmr;
+    case "run_to_idle fuel" test_run_to_idle_fuel;
+    case "erase invisible process" test_erase_invisible;
+    case "erase visible process diverges" test_erase_visible_diverges;
+    case "FAI chains defeat erasure" test_erase_fai_chain_diverges;
+    case "blind write chains allow erasure" test_erase_blind_write_chain_ok;
+    case "erasure preserves mid-call state" test_erase_mid_call_preserves_state;
+    prop_erasure_preserves_survivor_rmrs ]

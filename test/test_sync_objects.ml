@@ -1,0 +1,292 @@
+(* Tests for the non-lock substrates: the F&I queue, leader election, and
+   the Local_cas transformation of Corollary 6.14. *)
+
+open Smr
+open Program.Syntax
+open Test_util
+
+(* --- Fai_queue --- *)
+
+let queue_machine ~n ~capacity =
+  let ctx = Var.Ctx.create () in
+  let q = Sync.Fai_queue.create ctx ~capacity in
+  let layout = Var.Ctx.freeze ctx in
+  (Sim.create ~model:(Cost_model.dsm layout) ~layout ~n, q)
+
+let drain_all q =
+  let acc = ref [] in
+  let* _ =
+    Sync.Fai_queue.drain q ~from:0 (fun p ->
+        acc := p :: !acc;
+        Program.return ())
+  in
+  Program.return !acc
+
+let test_queue_fifo () =
+  let sim, q = queue_machine ~n:4 ~capacity:8 in
+  let sim =
+    List.fold_left
+      (fun sim p -> run_unit ~p sim (Sync.Fai_queue.enqueue q p))
+      sim [ 2; 0; 3 ]
+  in
+  let collected = ref [] in
+  let prog =
+    Program.bind (drain_all q) (fun l ->
+        collected := l;
+        Program.return 0)
+  in
+  let _sim, _ = run ~p:1 sim prog in
+  check_true "FIFO order" (List.rev !collected = [ 2; 0; 3 ])
+
+let test_queue_enqueue_cost () =
+  let sim, q = queue_machine ~n:4 ~capacity:8 in
+  let sim = run_unit ~p:2 sim (Sync.Fai_queue.enqueue q 2) in
+  check_int "enqueue is two RMRs" 2 (Sim.rmrs sim 2)
+
+let test_queue_drain_cursor () =
+  let sim, q = queue_machine ~n:4 ~capacity:8 in
+  let sim = run_unit ~p:0 sim (Sync.Fai_queue.enqueue q 0) in
+  let sim = run_unit ~p:1 sim (Sync.Fai_queue.enqueue q 1) in
+  let visit _ = Program.return () in
+  let sim, cursor = run ~p:3 sim (Sync.Fai_queue.drain q ~from:0 visit) in
+  check_int "cursor after two" 2 cursor;
+  let sim = run_unit ~p:2 sim (Sync.Fai_queue.enqueue q 2) in
+  let _, cursor = run ~p:3 sim (Sync.Fai_queue.drain q ~from:cursor visit) in
+  check_int "incremental drain" 3 cursor
+
+let test_queue_capacity () =
+  let sim, q = queue_machine ~n:4 ~capacity:1 in
+  let sim = run_unit ~p:0 sim (Sync.Fai_queue.enqueue q 0) in
+  Alcotest.check_raises "capacity exceeded"
+    (Invalid_argument "Fai_queue.enqueue: capacity exceeded") (fun () ->
+      ignore (run_unit ~p:1 sim (Sync.Fai_queue.enqueue q 1)))
+
+let test_queue_length () =
+  let sim, q = queue_machine ~n:4 ~capacity:8 in
+  let sim = run_unit ~p:0 sim (Sync.Fai_queue.enqueue q 0) in
+  let _, len = run ~p:1 sim (Sync.Fai_queue.length q) in
+  check_int "length" 1 len
+
+let test_queue_claimed_slot_awaited () =
+  (* A drain that encounters a claimed-but-unpublished slot waits for the
+     publisher; interleave so that exactly this happens. *)
+  let sim, q = queue_machine ~n:3 ~capacity:4 in
+  let sim =
+    Sim.begin_call sim 0 ~label:"enq"
+      (Program.map (fun () -> 0) (Sync.Fai_queue.enqueue q 0))
+  in
+  let sim = Sim.advance sim 0 (* FAI done, slot write pending *) in
+  let sim =
+    Sim.begin_call sim 1 ~label:"drain"
+      (Sync.Fai_queue.drain q ~from:0 (fun _ -> Program.return ()))
+  in
+  (* Let the drainer read the tail and spin on the empty slot a few times. *)
+  let sim = List.fold_left (fun sim () -> Sim.advance sim 1) sim [ (); (); () ] in
+  check_true "drainer still waiting" (Sim.is_running sim 1);
+  let sim = Sim.run_to_idle sim 0 in
+  let sim = Sim.run_to_idle sim 1 in
+  check_true "drain completed after publication" (Sim.is_idle sim 1)
+
+(* --- Leader election --- *)
+
+let election_machine ~n =
+  let ctx = Var.Ctx.create () in
+  let e = Sync.Leader_election.create ctx ~n in
+  let layout = Var.Ctx.freeze ctx in
+  (Sim.create ~model:(Cost_model.dsm layout) ~layout ~n, e)
+
+let run_election ~n ~seed participants =
+  let sim, e = election_machine ~n in
+  let behavior sim p : Schedule.action =
+    if Sim.last_result sim p <> None then Stop
+    else Start ("elect", Sync.Leader_election.elect e p)
+  in
+  let sim =
+    Schedule.run ~policy:(Schedule.Random_seed seed) ~behavior ~pids:participants
+      sim
+  in
+  (sim, List.map (fun p -> (p, Sim.last_result sim p)) participants)
+
+let test_election_agreement () =
+  let _, results = run_election ~n:8 ~seed:11 [ 0; 2; 5; 7 ] in
+  let leaders = List.filter_map snd results in
+  check_int "everyone decided" 4 (List.length leaders);
+  (match leaders with
+  | l :: rest ->
+    check_true "agreement" (List.for_all (fun x -> x = l) rest);
+    check_true "leader is a participant" (List.mem l [ 0; 2; 5; 7 ])
+  | [] -> Alcotest.fail "no leader")
+
+let test_election_loser_cost () =
+  let sim, results = run_election ~n:8 ~seed:3 (List.init 8 Fun.id) in
+  let leader =
+    match List.filter_map snd results with l :: _ -> l | [] -> assert false
+  in
+  List.iter
+    (fun p ->
+      if p <> leader then
+        check_true
+          (Printf.sprintf "loser p%d pays O(1): %d RMRs" p (Sim.rmrs sim p))
+          (Sim.rmrs sim p <= 2))
+    (List.init 8 Fun.id)
+
+let prop_election_agreement =
+  qcheck ~count:60 "leader election agrees under random schedules"
+    QCheck.(pair (int_range 2 8) (int_bound 10_000))
+    (fun (k, seed) ->
+      let _, results = run_election ~n:8 ~seed (List.init k Fun.id) in
+      match List.filter_map snd results with
+      | [] -> false
+      | l :: rest -> List.for_all (fun x -> x = l) rest && l < k)
+
+(* --- Local_cas --- *)
+
+let lcas_machine ~n =
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let lc = Sync.Local_cas.create ctx ~n ~addrs:[ Var.addr x ] in
+  let layout = Var.Ctx.freeze ctx in
+  (Sim.create ~model:(Cost_model.dsm layout) ~layout ~n, x, lc)
+
+let test_local_cas_semantics () =
+  let sim, x, lc = lcas_machine ~n:2 in
+  let a = Var.addr x in
+  let sim, r =
+    run sim (Sync.Local_cas.cas_program lc 0 ~addr:a ~expected:0 ~update:5)
+  in
+  check_int "success returns 1" 1 r;
+  check_int "value written" 5 (Memory.get (Sim.memory sim) a);
+  let sim, r =
+    run sim (Sync.Local_cas.cas_program lc 0 ~addr:a ~expected:0 ~update:9)
+  in
+  check_int "failure returns 0" 0 r;
+  check_int "value preserved" 5 (Memory.get (Sim.memory sim) a)
+
+let test_transform_replaces_cas () =
+  let sim, x, lc = lcas_machine ~n:2 in
+  let prog = Program.map (fun b -> if b then 1 else 0) (Program.cas x ~expected:0 ~update:7) in
+  let sim, r = run sim (Sync.Local_cas.transform lc 0 prog) in
+  check_int "transformed cas succeeds" 1 r;
+  check_true "no CAS steps in history"
+    (List.for_all
+       (fun (s : History.step) -> Op.kind s.History.inv <> Op.K_cas)
+       (Sim.steps sim));
+  check_int "value written" 7 (Memory.get (Sim.memory sim) (Var.addr x))
+
+let test_transform_leaves_other_ops () =
+  let sim, x, lc = lcas_machine ~n:2 in
+  let prog =
+    let* () = Program.write x 3 in
+    let* v = Program.read x in
+    Program.return v
+  in
+  let _, r = run sim (Sync.Local_cas.transform lc 0 prog) in
+  check_int "reads/writes pass through" 3 r
+
+let test_transform_atomicity () =
+  (* Two processes attempt a transformed CAS with the same expected value;
+     exactly one must succeed, under any interleaving. *)
+  let prop seed =
+    let sim, x, lc = lcas_machine ~n:2 in
+    let prog p =
+      Sync.Local_cas.transform lc p
+        (Program.map
+           (fun b -> if b then 1 else 0)
+           (Program.cas x ~expected:0 ~update:(p + 1)))
+    in
+    let behavior sim p : Schedule.action =
+      if Sim.last_result sim p <> None then Stop else Start ("cas", prog p)
+    in
+    let sim =
+      Schedule.run ~policy:(Schedule.Random_seed seed) ~behavior ~pids:[ 0; 1 ]
+        sim
+    in
+    let wins =
+      List.length
+        (List.filter (fun p -> Sim.last_result sim p = Some 1) [ 0; 1 ])
+    in
+    wins = 1
+  in
+  check_true "exactly one winner across seeds"
+    (List.for_all prop [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
+
+let test_local_llsc_semantics () =
+  let sim, x, lc = lcas_machine ~n:2 in
+  let a = Var.addr x in
+  (* LL then SC with no interference: succeeds. *)
+  let sim, v = run sim (Sync.Local_cas.ll_program lc 0 ~addr:a) in
+  check_int "ll reads value" 0 v;
+  let sim, r = run sim (Sync.Local_cas.sc_program lc 0 ~addr:a ~update:7) in
+  check_int "sc succeeds" 1 r;
+  check_int "value stored" 7 (Memory.get (Sim.memory sim) a);
+  (* SC without a fresh link fails (the link was consumed). *)
+  let sim, r = run sim (Sync.Local_cas.sc_program lc 0 ~addr:a ~update:9) in
+  check_int "stale sc fails" 0 r;
+  check_int "value preserved" 7 (Memory.get (Sim.memory sim) a)
+
+let test_local_llsc_interference () =
+  let sim, x, lc = lcas_machine ~n:2 in
+  let a = Var.addr x in
+  let sim, _ = run ~p:0 sim (Sync.Local_cas.ll_program lc 0 ~addr:a) in
+  (* p1's transformed write must invalidate p0's link. *)
+  let sim, _ = run ~p:1 sim (Sync.Local_cas.write_program lc 1 ~addr:a ~value:5) in
+  let sim, r = run ~p:0 sim (Sync.Local_cas.sc_program lc 0 ~addr:a ~update:9) in
+  check_int "sc fails after interfering write" 0 r;
+  check_int "interferer's value survives" 5 (Memory.get (Sim.memory sim) a)
+
+let test_local_llsc_no_aba () =
+  (* Value returns to its original, but the version has moved: SC must
+     still fail (hardware LL/SC has no ABA problem). *)
+  let sim, x, lc = lcas_machine ~n:2 in
+  let a = Var.addr x in
+  let sim, _ = run ~p:0 sim (Sync.Local_cas.ll_program lc 0 ~addr:a) in
+  let sim, _ = run ~p:1 sim (Sync.Local_cas.write_program lc 1 ~addr:a ~value:5) in
+  let sim, _ = run ~p:1 sim (Sync.Local_cas.write_program lc 1 ~addr:a ~value:0) in
+  let sim, r = run ~p:0 sim (Sync.Local_cas.sc_program lc 0 ~addr:a ~update:9) in
+  ignore sim;
+  check_int "ABA write-back still fails the sc" 0 r
+
+let test_transform_llsc_history_clean () =
+  let sim, x, lc = lcas_machine ~n:2 in
+  let prog =
+    let* v = Program.load_linked x in
+    let* ok = Program.store_conditional x (v + 1) in
+    Program.return (if ok then 1 else 0)
+  in
+  let sim, r = run sim (Sync.Local_cas.transform lc 0 prog) in
+  check_int "transformed ll/sc succeeds" 1 r;
+  check_true "no LL/SC/CAS steps in history"
+    (List.for_all
+       (fun (s : History.step) ->
+         match Op.kind s.History.inv with
+         | Op.K_ll | Op.K_sc | Op.K_cas -> false
+         | Op.K_read | Op.K_write | Op.K_faa | Op.K_fas | Op.K_tas -> true)
+       (Sim.steps sim))
+
+let test_transform_rejects_fetch_and_phi () =
+  let sim, x, lc = lcas_machine ~n:2 in
+  ignore sim;
+  let prog = Program.step (Op.Faa (Var.addr x, 1)) in
+  Alcotest.check_raises "fetch-and-phi rejected"
+    (Invalid_argument "Local_cas.transform: fetch-and-phi on a protected address")
+    (fun () -> ignore (Sync.Local_cas.transform lc 0 prog))
+
+let suite =
+  [ case "queue FIFO" test_queue_fifo;
+    case "queue enqueue costs 2 RMRs" test_queue_enqueue_cost;
+    case "queue incremental drain cursor" test_queue_drain_cursor;
+    case "queue capacity enforced" test_queue_capacity;
+    case "queue length" test_queue_length;
+    case "queue drain awaits claimed slot" test_queue_claimed_slot_awaited;
+    case "election agreement" test_election_agreement;
+    case "election losers pay O(1)" test_election_loser_cost;
+    prop_election_agreement;
+    case "local cas semantics" test_local_cas_semantics;
+    case "transform replaces cas" test_transform_replaces_cas;
+    case "transform leaves reads/writes" test_transform_leaves_other_ops;
+    case "transformed cas is atomic" test_transform_atomicity;
+    case "local ll/sc semantics" test_local_llsc_semantics;
+    case "local ll/sc interference" test_local_llsc_interference;
+    case "local ll/sc has no ABA" test_local_llsc_no_aba;
+    case "transformed ll/sc history is clean" test_transform_llsc_history_clean;
+    case "transform rejects fetch-and-phi" test_transform_rejects_fetch_and_phi ]
