@@ -2,68 +2,61 @@
 
    Two layers:
 
-   1. The experiment tables (E1-E10) — the paper has no measured tables of
-      its own, so these claim-derived tables ARE the reproduction targets;
-      running this binary regenerates every one of them (also individually:
-      `dune exec bench/main.exe -- e4`).
+   1. The experiment tables (E1-E13, from Core.Experiment_registry) — the
+      paper has no measured tables of its own, so these claim-derived
+      tables ARE the reproduction targets; running this binary regenerates
+      every one of them (also individually: `dune exec bench/main.exe -- e4`;
+      unknown ids are an error).
 
-   2. Bechamel wall-clock benchmarks — one Test.make per experiment table
-      (the cost of regenerating it), plus microbenchmarks of the simulator
-      substrate and the ablations called out in DESIGN.md (peek cost,
-      snapshot cost, erasure cost, adversary stability horizon). *)
+   2. Bechamel wall-clock benchmarks — one Test.make per registered
+      experiment at its reduced parameter set (the cost of regenerating
+      it), plus microbenchmarks of the simulator substrate and the
+      ablations called out in DESIGN.md (peek cost, snapshot cost, erasure
+      cost, adversary stability horizon). *)
 
 open Bechamel
 open Toolkit
 
-let experiment_tables : (string * (unit -> Core.Report.t list)) list =
-  [ ("e1", fun () -> [ Core.Experiment.e1 () ]);
-    ("e2", fun () -> [ Core.Experiment.e2 () ]);
-    ("e3", fun () -> Core.Experiment.e3 ());
-    ("e4", fun () -> [ Core.Experiment.e4 () ]);
-    ("e5", fun () -> [ Core.Experiment.e5 () ]);
-    ("e6", fun () -> [ Core.Experiment.e6 () ]);
-    ("e7", fun () -> [ Core.Experiment.e7 () ]);
-    ("e8", fun () -> Core.Experiment.e8 ());
-    ("e9", fun () -> [ Core.Experiment.e9 () ]);
-        ("e10", fun () -> [ Core.Experiment.e10 () ]);
-        ("e11", fun () -> [ Core.Experiment.e11 () ]);
-        ("e12", fun () -> [ Core.Experiment.e12 () ]);
-        ("e13", fun () -> [ Core.Experiment.e13 () ]) ]
+(* Both layers enumerate Core.Experiment_registry: the full tables run the
+   Default parameter sets; the bechamel subjects time the same runs at the
+   registry's Reduced sets.  Adding an experiment to the registry adds it
+   here automatically. *)
+
+let registry = Core.Experiment_registry.all ()
+
+let run_spec size (spec : Core.Experiment_def.spec) =
+  spec.Core.Experiment_def.run ~jobs:1 size
 
 let print_tables names =
+  let valid = Core.Experiment_registry.ids () in
+  (match List.filter (fun n -> not (List.mem n valid)) names with
+  | [] -> ()
+  | unknown ->
+    Printf.eprintf "bench: unknown experiment id(s): %s\nvalid ids: %s\n"
+      (String.concat ", " unknown)
+      (String.concat " " valid);
+    exit 2);
   List.iter
-    (fun (name, f) ->
-      if names = [] || List.mem name names then
-        List.iter (fun t -> Core.Report.print t; print_newline ()) (f ()))
-    experiment_tables
+    (fun (spec : Core.Experiment_def.spec) ->
+      if names = [] || List.mem spec.Core.Experiment_def.id names then
+        List.iter
+          (fun t ->
+            Core.Report.print (Core.Results.to_report t);
+            print_newline ())
+          (run_spec Core.Experiment_def.Default spec))
+    registry
 
 (* --- bechamel subjects --- *)
 
-(* Table-regeneration benches, at reduced sizes so the suite stays fast. *)
+(* Table-regeneration benches at the registry's reduced parameter sets, so
+   the suite stays fast. *)
 let table_benches =
-  [ Test.make ~name:"table/e1" (Staged.stage (fun () -> Core.Experiment.e1 ~ns:[ 64 ] ()));
-    Test.make ~name:"table/e2"
-      (Staged.stage (fun () -> Core.Experiment.e2 ~ns:[ 32 ] ()));
-    Test.make ~name:"table/e3"
-      (Staged.stage (fun () -> Core.Experiment.e3 ~n:32 ~partial:4 ()));
-    Test.make ~name:"table/e4"
-      (Staged.stage (fun () -> Core.Experiment.e4 ~n:64 ~ks:[ 1; 16; 63 ] ()));
-    Test.make ~name:"table/e5" (Staged.stage (fun () -> Core.Experiment.e5 ~n:32 ()));
-    Test.make ~name:"table/e6" (Staged.stage (fun () -> Core.Experiment.e6 ~ns:[ 32 ] ()));
-    Test.make ~name:"table/e7"
-      (Staged.stage (fun () -> Core.Experiment.e7 ~ns:[ 8 ] ~entries:2 ()));
-    Test.make ~name:"table/e8"
-      (Staged.stage (fun () -> Core.Experiment.e8 ~n:64 ~ks:[ 16 ] ()));
-    Test.make ~name:"table/e9" (Staged.stage (fun () -> Core.Experiment.e9 ~n:32 ()));
-    Test.make ~name:"table/e10"
-      (Staged.stage (fun () -> Core.Experiment.e10 ~ns:[ 8 ] ~entries:2 ()));
-    Test.make ~name:"table/e11"
-      (Staged.stage (fun () ->
-           Core.Experiment.e11 ~n:3 ~seeds:[ 1; 2; 3; 4 ] ()));
-    Test.make ~name:"table/e12"
-      (Staged.stage (fun () -> Core.Experiment.e12 ~n:8 ~capacities:[ 1; 4 ] ()));
-    Test.make ~name:"table/e13"
-      (Staged.stage (fun () -> Core.Experiment.e13 ~n:12 ())) ]
+  List.map
+    (fun (spec : Core.Experiment_def.spec) ->
+      Test.make
+        ~name:("table/" ^ spec.Core.Experiment_def.id)
+        (Staged.stage (fun () -> run_spec Core.Experiment_def.Reduced spec)))
+    registry
 
 (* Substrate microbenchmarks. *)
 

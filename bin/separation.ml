@@ -199,51 +199,130 @@ let adversary_cmd =
           in the DSM model.")
     Term.(const run $ algo $ n_arg $ rounds $ polls $ trace)
 
-let experiments_cmd =
+(* The registry-driven table pipeline: `tables` (and its historical alias
+   `experiments`) resolves ids against Core.Experiment_registry, fans the
+   runs out across domains, and renders text, CSV or JSON.  Output order
+   follows the registry (or the requested id order), never completion
+   order, so every --jobs level is byte-identical. *)
+
+let resolve_specs names =
+  match names with
+  | [] -> Core.Experiment_registry.all ()
+  | names -> (
+    match List.map Core.Experiment_registry.find_exn names with
+    | specs -> specs
+    | exception Invalid_argument msg ->
+      Fmt.epr "separation: %s@." msg;
+      exit 2)
+
+let run_tables format jobs reduced list names =
+  if list then
+    List.iter
+      (fun (s : Core.Experiment_def.spec) ->
+        Fmt.pr "%-4s %s@.     claim: %s@.     shape: %s@." s.Core.Experiment_def.id
+          s.Core.Experiment_def.title s.Core.Experiment_def.claim
+          s.Core.Experiment_def.shape_note)
+      (Core.Experiment_registry.all ())
+  else begin
+    let specs = resolve_specs names in
+    let jobs = match jobs with 0 -> Core.Runner.default_jobs () | j -> max 1 j in
+    let size =
+      if reduced then Core.Experiment_def.Reduced else Core.Experiment_def.Default
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcomes = Core.Runner.run ~jobs ~size specs in
+    let tables = Core.Runner.tables outcomes in
+    (match format with
+    | `Json -> print_string (Core.Results.to_json_many tables)
+    | `Csv ->
+      List.iter
+        (fun t ->
+          print_string (Core.Results.to_csv t);
+          print_newline ())
+        tables
+    | `Text ->
+      List.iter
+        (fun t ->
+          Core.Report.print (Core.Results.to_report t);
+          print_newline ())
+        tables);
+    (* Diagnostics go to stderr so stdout stays identical across runs. *)
+    Fmt.epr "separation tables: %d experiment(s), %d table(s), jobs=%d, %.2fs@."
+      (List.length specs) (List.length tables) jobs
+      (Unix.gettimeofday () -. t0);
+    match Core.Runner.failed_shapes outcomes with
+    | [] -> ()
+    | failures ->
+      List.iter
+        (fun (id, why) -> Fmt.epr "separation: %s shape check FAILED: %s@." id why)
+        failures;
+      exit 1
+  end
+
+let tables_term =
   let names =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"NAME"
-          ~doc:"Experiment names (e1..e13); all when omitted.")
+          ~doc:"Experiment ids (try --list); all when omitted.  Unknown ids \
+                are an error.")
   in
-  let csv =
+  let format =
+    Arg.(
+      value
+      & vflag `Text
+          [ (`Json, info [ "json" ] ~doc:"Emit the stable JSON format.");
+            (`Csv,
+             info [ "csv" ] ~doc:"Emit CSV (header + rows) instead of \
+                                  aligned text.") ])
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Fan independent experiments (and parameter points within one \
+             experiment) out across $(docv) domains.  0 (the default) \
+             means Domain.recommended_domain_count.  Results are \
+             byte-identical at every level.")
+  in
+  let reduced =
     Arg.(
       value & flag
-      & info [ "csv" ] ~doc:"Emit CSV (header + rows) instead of aligned text.")
+      & info [ "reduced" ]
+          ~doc:"Use the registry's reduced parameter sets (the ones the \
+                bechamel benches time) instead of the full tables.")
   in
-  let run csv names =
-    let wanted name = names = [] || List.mem name names in
-    List.iter
-      (fun (name, tables) ->
-        if wanted name then
-          List.iter
-            (fun t ->
-              if csv then print_string (Core.Report.to_csv t)
-              else Core.Report.print t;
-              print_newline ())
-            (tables ()))
-      [ ("e1", fun () -> [ Core.Experiment.e1 () ]);
-        ("e2", fun () -> [ Core.Experiment.e2 () ]);
-        ("e3", fun () -> Core.Experiment.e3 ());
-        ("e4", fun () -> [ Core.Experiment.e4 () ]);
-        ("e5", fun () -> [ Core.Experiment.e5 () ]);
-        ("e6", fun () -> [ Core.Experiment.e6 () ]);
-        ("e7", fun () -> [ Core.Experiment.e7 () ]);
-        ("e8", fun () -> Core.Experiment.e8 ());
-        ("e9", fun () -> [ Core.Experiment.e9 () ]);
-        ("e10", fun () -> [ Core.Experiment.e10 () ]);
-        ("e11", fun () -> [ Core.Experiment.e11 () ]);
-        ("e12", fun () -> [ Core.Experiment.e12 () ]);
-        ("e13", fun () -> [ Core.Experiment.e13 () ]) ]
+  let list =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List registered experiments with their claims and \
+                expected-shape predicates, then exit.")
   in
+  Term.(const run_tables $ format $ jobs $ reduced $ list $ names)
+
+let tables_cmd =
   Cmd.v
-    (Cmd.info "experiments"
-       ~doc:"Regenerate the claim-derived experiment tables (EXPERIMENTS.md).")
-    Term.(const run $ csv $ names)
+    (Cmd.info "tables"
+       ~doc:
+         "Regenerate the claim-derived experiment tables (EXPERIMENTS.md) \
+          from the registry; text, CSV or JSON; domain-parallel with --jobs.")
+    tables_term
+
+let experiments_cmd =
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Alias of $(b,tables).")
+    tables_term
 
 let list_cmd =
   let run () =
-    Fmt.pr "Algorithms:@.";
+    Fmt.pr "Experiments:@.";
+    List.iter
+      (fun (s : Core.Experiment_def.spec) ->
+        Fmt.pr "  %-4s %s@." s.Core.Experiment_def.id s.Core.Experiment_def.title)
+      (Core.Experiment_registry.all ());
+    Fmt.pr "@.Algorithms:@.";
     List.iter
       (fun (module A : Core.Signaling.POLLING) ->
         Fmt.pr "  %-18s [%s]  %s@." A.name
@@ -272,4 +351,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "separation" ~version:"1.0.0" ~doc)
-          [ run_cmd; adversary_cmd; explore_cmd; experiments_cmd; list_cmd ]))
+          [ run_cmd; adversary_cmd; explore_cmd; tables_cmd; experiments_cmd;
+            list_cmd ]))

@@ -10,7 +10,7 @@
 
    Run with: dune exec examples/lock_comparison.exe *)
 
-let locks = Core.Experiment.locks
+let locks = Core.Algorithms.locks
 
 let contenders = [ 2; 8; 32 ]
 

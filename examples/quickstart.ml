@@ -50,7 +50,7 @@ let () =
 
   (* 4. The same comparison through the library's packaged algorithms. *)
   let n = 8 in
-  let cfg = Core.Experiment.config_for (module Core.Cc_flag) ~n in
+  let cfg = Core.Algorithms.config_for (module Core.Cc_flag) ~n in
   Fmt.pr "@.cc-flag (Sec. 5) at N=%d, per model:@." n;
   List.iter
     (fun tag ->

@@ -19,7 +19,7 @@ let n = 128 (* coordinator + up to 127 workers *)
 let arrivals = [ 1; 17; 23; 40; 77; 101 ] (* workers that park in time *)
 
 let run name (module A : Signaling.POLLING) =
-  let cfg = Experiment.config_for (module A) ~n in
+  let cfg = Algorithms.config_for (module A) ~n in
   match
     Scenario.run_phased (module A) ~model:`Dsm ~cfg ~active_waiters:arrivals ()
   with

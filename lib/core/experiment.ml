@@ -1,702 +1,44 @@
-(* The experiment suite.
+(* Compatibility façade over the experiment registry.
 
-   The paper has no evaluation section — its only figure is an architecture
-   diagram — so every experiment here regenerates a *complexity claim* as a
-   measured table.  EXPERIMENTS.md records the claim, the expected shape,
-   and the measured outcome for each.  Everything is deterministic (phased
-   schedules or seeded randomness), so the tables are reproducible. *)
+   The suite itself lives in lib/core/experiments/ (one module per
+   experiment, registered in Experiment_registry); the algorithm catalog
+   lives in Algorithms.  This module re-exports both under the historical
+   names and renders Results tables down to Report.t, so existing callers
+   keep compiling.  New code should prefer Experiment_registry + Runner +
+   Results directly. *)
 
-open Smr
+module Queue_multi_signaler = Algorithms.Queue_multi_signaler
 
-let default_ns = [ 2; 4; 8; 16; 32; 64; 128; 256 ]
+let polling_algorithms = Algorithms.polling_algorithms
+let find_algorithm = Algorithms.find_algorithm
+let config_for = Algorithms.config_for
+let locks = Algorithms.locks
+let blocking_algorithms = Algorithms.blocking_algorithms
 
-module Queue_multi_signaler = Multi_signaler.Make (Dsm_queue)
+let report = Results.to_report
+let reports = List.map Results.to_report
 
-let polling_algorithms : (module Signaling.POLLING) list =
-  [ (module Cc_flag);
-    (module Dsm_broadcast);
-    (module Dsm_fixed_waiters);
-    (module Dsm_fixed_terminating);
-    (module Dsm_single_waiter);
-    (module Dsm_registration);
-    (module Dsm_queue);
-    (module Cas_register);
-    (module Cas_register.Transformed);
-    (module Llsc_register);
-    (module Llsc_register.Transformed);
-    (module Queue_multi_signaler) ]
+let e1 ?ns () = report (E1_cc_flag.table ?ns ())
+let e2 ?ns () = report (E2_adversary.table ?ns ())
+let e3 ?n ?partial () = reports (E3_landscape.tables ?n ?partial ())
+let e4 ?n ?ks () = report (E4_queue_k.table ?n ?ks ())
+let e5 ?n () = report (E5_separation.table ?n ())
+let e6 ?ns () = report (E6_messages.table ?ns ())
+let e7 ?ns ?entries () = report (E7_mutex.table ?ns ?entries ())
+let e8 ?n ?ks () = reports (E8_cas.tables ?n ?ks ())
+let e9 ?n () = report (E9_rounds.table ?n ())
+let e10 ?ns ?entries () = report (E10_gme.table ?ns ?entries ())
+let e11 ?n ?delta ?seeds () = report (E11_timing.table ?n ?delta ?seeds ())
+let e12 ?n ?capacities () = report (E12_caches.table ?n ?capacities ())
+let e13 ?n ?seed () = report (E13_blocking.table ?n ?seed ())
 
-let find_algorithm name =
-  List.find_opt
-    (fun (module A : Signaling.POLLING) -> A.name = name)
-    polling_algorithms
-
-(* Standard configuration: process 0 signals, everyone else may wait.  The
-   single-waiter algorithm gets exactly one waiter. *)
-let config_for (module A : Signaling.POLLING) ~n =
-  let waiters =
-    match A.flexibility.Signaling.max_waiters with
-    | Some 1 -> [ 1 ]
-    | _ -> List.init (n - 1) (fun i -> i + 1)
-  in
-  Signaling.config ~n ~waiters ~signalers:[ 0 ]
-
-let fmt_amortized = Report.float ~digits:2
-
-(* --- E1: Section 5 upper bound — the CC flag is O(1) RMRs/process --- *)
-
-let e1 ?(ns = default_ns) () =
-  let rows =
-    List.map
-      (fun n ->
-        let cfg = config_for (module Cc_flag) ~n in
-        let o = Scenario.run_phased (module Cc_flag) ~model:`Cc_wt ~cfg () in
-        [ Report.int n;
-          Report.int o.Scenario.max_waiter_rmrs;
-          Report.int o.Scenario.signaler_rmrs;
-          Report.int o.Scenario.total_rmrs;
-          fmt_amortized o.Scenario.amortized;
-          Report.int (List.length o.Scenario.violations) ])
-      ns
-  in
-  Report.make
-    ~title:
-      "E1 (Sec. 5): cc-flag under CC write-through — per-process RMRs must \
-       stay O(1) as N grows"
-    ~header:[ "N"; "waiter max"; "signaler"; "total"; "amortized"; "violations" ]
-    rows
-
-(* --- E2: Section 6 lower bound — adversary forces unbounded amortized
-   RMRs on read/write algorithms, and fails against F&I --- *)
-
-let e2 ?(ns = [ 8; 16; 32; 64; 128; 256 ]) () =
-  let row (module A : Signaling.POLLING) n =
-    let r = Adversary.run (module A) ~n () in
-    let chase_rmrs, blocked =
-      match r.Adversary.chase with
-      | Some c -> (c.Adversary.signaler_rmrs, c.Adversary.chase_erase_failures)
-      | None -> (0, 0)
-    in
-    [ A.name;
-      Report.int n;
-      Report.int r.Adversary.stable_waiters;
-      Report.int chase_rmrs;
-      Report.int blocked;
-      Report.int r.Adversary.participants;
-      fmt_amortized r.Adversary.amortized;
-      Report.bool r.Adversary.part1_regular;
-      Report.bool (not r.Adversary.spec_violated) ]
-  in
-  let rows =
-    List.concat_map
-      (fun n ->
-        [ row (module Dsm_broadcast) n; row (module Dsm_queue) n ])
-      ns
-  in
-  Report.make
-    ~title:
-      "E2 (Sec. 6, Thm. 6.2): the mechanized adversary vs a reads/writes \
-       algorithm (amortized grows ~N) and vs the F&I queue (erasures \
-       blocked, amortized flat)"
-    ~header:
-      [ "algorithm"; "N"; "stable"; "signaler RMRs"; "blocked"; "parts";
-        "amortized"; "regular"; "spec ok" ]
-    rows
-
-(* --- E3: the Section 7 landscape --- *)
-
-let run_or_blocks (module A : Signaling.POLLING) ~model ~cfg ?active_waiters () =
-  (* A bounded fuel keeps "this algorithm blocks" detection cheap; the
-     shipped algorithms' calls finish in far fewer steps. *)
-  match
-    Scenario.run_phased (module A) ~model ~cfg ?active_waiters ~fuel:100_000 ()
-  with
-  | o -> Ok o
-  | exception Failure msg when msg = "Sim.run_to_idle: out of fuel" -> Error "blocks"
-  | exception Failure _ -> Error "failed"
-
-let e3 ?(n = 64) ?(partial = 8) () =
-  let landscape ~active_count =
-    List.filter_map
-      (fun (module A : Signaling.POLLING) ->
-        let cfg = config_for (module A) ~n in
-        let active_waiters =
-          match A.flexibility.Signaling.max_waiters with
-          | Some 1 -> None
-          | _ ->
-            if active_count >= n - 1 then None
-            else Some (List.init active_count (fun i -> i + 1))
-        in
-        match run_or_blocks (module A) ~model:`Dsm ~cfg ?active_waiters () with
-        | Ok o ->
-          Some
-            [ A.name;
-              Report.int o.Scenario.max_waiter_rmrs;
-              Report.int o.Scenario.signaler_rmrs;
-              Report.int o.Scenario.total_rmrs;
-              Report.int o.Scenario.participants;
-              fmt_amortized o.Scenario.amortized;
-              (* Shared cells allocated: the paper's Sec. 9 notes the CC
-                 solution needs O(1) space, the DSM ones Θ(N). *)
-              Report.int (Var.layout_size (Sim.layout o.Scenario.sim));
-              Report.int (List.length o.Scenario.violations) ]
-        | Error why -> Some [ A.name; why; "-"; "-"; "-"; "-"; "-"; "-" ])
-      polling_algorithms
-  in
-  let header =
-    [ "algorithm"; "waiter max"; "signaler"; "total"; "parts"; "amortized";
-      "space"; "violations" ]
-  in
-  [ Report.make
-      ~title:
-        (Printf.sprintf
-           "E3a (Sec. 7): DSM landscape, full participation (N=%d, all \
-            waiters poll)"
-           n)
-      ~header (landscape ~active_count:(n - 1));
-    Report.make
-      ~title:
-        (Printf.sprintf
-           "E3b (Sec. 7): DSM landscape, partial participation (N=%d, only \
-            %d waiters poll) — O(W)-signaler algorithms lose amortized \
-            O(1); dsm-fixed-term blocks awaiting the absent waiters"
-           n partial)
-      ~header (landscape ~active_count:partial) ]
-
-(* --- E4: the queue solution is O(1) amortized for every k --- *)
-
-let e4 ?(n = 128) ?(ks = [ 1; 2; 4; 8; 16; 32; 64; 127 ]) () =
-  let rows =
-    List.map
-      (fun k ->
-        let cfg = config_for (module Dsm_queue) ~n in
-        let active_waiters = Some (List.init k (fun i -> i + 1)) in
-        let o =
-          Scenario.run_phased (module Dsm_queue) ~model:`Dsm ~cfg ?active_waiters ()
-        in
-        [ Report.int k;
-          Report.int o.Scenario.signaler_rmrs;
-          Report.int o.Scenario.total_rmrs;
-          Report.int o.Scenario.participants;
-          fmt_amortized o.Scenario.amortized ])
-      ks
-  in
-  Report.make
-    ~title:
-      (Printf.sprintf
-         "E4 (Sec. 7): dsm-queue with k of %d waiters participating — \
-          amortized RMRs stay O(1) for every k"
-         (n - 1))
-    ~header:[ "k"; "signaler"; "total"; "parts"; "amortized" ]
-    rows
-
-(* --- E5: the cross-model matrix — the separation itself --- *)
-
-let e5 ?(n = 64) () =
-  let models = [ `Dsm; `Cc_wt; `Cc_wb; `Cc_lfcu ] in
-  let cell (module A : Signaling.POLLING) model =
-    let cfg = config_for (module A) ~n in
-    match run_or_blocks (module A) ~model ~cfg () with
-    | Ok o ->
-      Printf.sprintf "%d / %s"
-        (max o.Scenario.max_waiter_rmrs o.Scenario.signaler_rmrs)
-        (fmt_amortized o.Scenario.amortized)
-    | Error why -> why
-  in
-  let rows =
-    List.map
-      (fun (module A : Signaling.POLLING) ->
-        A.name :: List.map (cell (module A)) models)
-      polling_algorithms
-  in
-  Report.make
-    ~title:
-      (Printf.sprintf
-         "E5 (Secs. 1/5/7): worst per-process RMRs / amortized RMRs, per \
-          model (N=%d).  cc-flag: O(1) in every CC column, Θ(N) under DSM \
-          — the separation"
-         n)
-    ~header:("algorithm" :: List.map Scenario.model_tag_name models)
-    rows
-
-(* --- E6: Section 8 — RMRs vs. coherence messages ("exchange rate") --- *)
-
-let e6 ?(ns = [ 8; 32; 128 ]) () =
-  let interconnects =
-    [ Cc.Bus; Cc.Directory_precise; Cc.Directory_limited 4 ]
-  in
-  let rows =
-    List.concat_map
-      (fun n ->
-        let cfg = config_for (module Cc_flag) ~n in
-        List.map
-          (fun ic ->
-            let model = `Cc (Cc.Write_through, ic) in
-            let o = Scenario.run_phased (module Cc_flag) ~model ~cfg () in
-            [ Report.int n;
-              Cc.interconnect_name ic;
-              Report.int o.Scenario.total_rmrs;
-              Report.int o.Scenario.total_messages;
-              Report.float ~digits:2
-                (if o.Scenario.total_rmrs = 0 then 0.
-                 else
-                   float_of_int o.Scenario.total_messages
-                   /. float_of_int o.Scenario.total_rmrs) ])
-          interconnects)
-      ns
-  in
-  Report.make
-    ~title:
-      "E6 (Sec. 8): cc-flag RMRs vs. coherence messages under different \
-       interconnects — a bus broadcasts one message per action; a limited \
-       directory sends superfluous invalidations, so messages/RMR grows"
-    ~header:[ "N"; "interconnect"; "RMRs"; "messages"; "msgs/RMR" ]
-    rows
-
-(* --- E7: the Section 3 mutual-exclusion landscape --- *)
-
-let locks : (module Sync.Mutex_intf.LOCK) list =
-  [ (module Sync.Tas_lock);
-    (module Sync.Ttas_lock);
-    (module Sync.Ticket_lock);
-    (module Sync.Anderson_lock);
-    (module Sync.Clh_lock);
-    (module Sync.Mcs_lock);
-    (module Sync.Yang_anderson);
-    (module Sync.Bakery_lock) ]
-
-let e7 ?(ns = [ 2; 4; 8; 16; 32 ]) ?(entries = 4) () =
-  let model_of tag layout =
-    match tag with
-    | `Dsm -> Cost_model.dsm layout
-    | `Cc -> Cc.model ~protocol:Cc.Write_through ~interconnect:Cc.Bus ~n:0 ()
-  in
-  let rows =
-    List.concat_map
-      (fun (module L : Sync.Mutex_intf.LOCK) ->
-        List.map
-          (fun n ->
-            (* A seeded random schedule: a deterministic round-robin would
-               hand Anderson's lock slot i to process i every time, making
-               its array spins accidentally local in DSM. *)
-            let run tag =
-              Sync.Lock_runner.run (module L) ~model_of:(model_of tag) ~n
-                ~entries ~policy:(Schedule.Random_seed 42) ()
-            in
-            let cc = run `Cc and dsm = run `Dsm in
-            [ L.name;
-              Report.int n;
-              Report.float ~digits:1 cc.Sync.Lock_runner.avg_rmrs_per_passage;
-              Report.float ~digits:1 dsm.Sync.Lock_runner.avg_rmrs_per_passage;
-              Report.bool
-                (cc.Sync.Lock_runner.mutual_exclusion_held
-                && dsm.Sync.Lock_runner.mutual_exclusion_held) ])
-          ns)
-      locks
-  in
-  Report.make
-    ~title:
-      (Printf.sprintf
-         "E7 (Sec. 3): mutual exclusion under contention (%d \
-          entries/process, seeded random steps) — TAS/TTAS/ticket/bakery \
-          spin or scan remotely and grow with N, Yang-Anderson ~log N, \
-          MCS O(1) in both models, Anderson/CLH local-spin in CC only"
-         entries)
-    ~header:[ "lock"; "N"; "CC RMR/passage"; "DSM RMR/passage"; "mutex held" ]
-    rows
-
-(* --- E8: Corollary 6.14 — CAS does not help --- *)
-
-(* Drive k waiters so that their registration CASes collide maximally:
-   advance everyone to the point of applying the contended operation, then
-   release them back-to-back; losers loop and collide again.  With hardware
-   F&I there are no losers, so the same treatment costs O(k). *)
-let contention_total (module A : Signaling.POLLING) ~n ~k =
-  let ctx = Var.Ctx.create () in
-  let cfg = config_for (module A) ~n in
-  let inst = Signaling.instantiate (module A) ctx cfg in
-  let layout = Var.Ctx.freeze ctx in
-  let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n in
-  let waiters = List.init k (fun i -> i + 1) in
-  let sim =
-    List.fold_left
-      (fun sim w ->
-        Sim.begin_call sim w ~label:Signaling.poll_label
-          (inst.Signaling.i_poll w))
-      sim waiters
-  in
-  let is_rmw inv =
-    match Op.kind inv with
-    | Op.K_cas | Op.K_faa | Op.K_fas | Op.K_tas | Op.K_sc -> true
-    | Op.K_read | Op.K_write | Op.K_ll -> false
-  in
-  (* Advance w until it is about to apply a read-modify-write, or its poll
-     completes. *)
-  let rec to_rmw sim w fuel =
-    if fuel = 0 then failwith "Experiment.contention: out of fuel"
-    else
-      match Sim.proc_state sim w with
-      | Sim.Idle | Sim.Terminated -> sim
-      | Sim.Running _ -> (
-        match Sim.peek sim w with
-        | Some inv when is_rmw inv -> sim
-        | Some _ -> to_rmw (Sim.advance sim w) w (fuel - 1)
-        | None -> sim)
-  in
-  let rec rounds sim guard =
-    if guard = 0 then failwith "Experiment.contention: too many rounds"
-    else
-      let sim = List.fold_left (fun sim w -> to_rmw sim w 10_000) sim waiters in
-      let poised =
-        List.filter
-          (fun w ->
-            match Sim.peek sim w with Some inv -> is_rmw inv | None -> false)
-          waiters
-      in
-      if poised = [] then sim
-      else
-        (* Release the colliding operations back-to-back. *)
-        let sim = List.fold_left (fun sim w -> Sim.advance sim w) sim poised in
-        rounds sim (guard - 1)
-  in
-  let sim = rounds sim (4 * k + 8) in
-  (* Let every waiter finish its first poll. *)
-  let sim =
-    List.fold_left (fun sim w -> Sim.run_to_idle sim w) sim waiters
-  in
-  Sim.total_rmrs sim
-
-let e8 ?(n = 128) ?(ks = [ 2; 4; 8; 16; 32; 64 ]) () =
-  let contention_rows =
-    List.map
-      (fun k ->
-        let cas = contention_total (module Cas_register) ~n ~k in
-        let llsc = contention_total (module Llsc_register) ~n ~k in
-        let fai = contention_total (module Dsm_queue) ~n ~k in
-        [ Report.int k;
-          Report.int cas;
-          fmt_amortized (float_of_int cas /. float_of_int k);
-          Report.int llsc;
-          fmt_amortized (float_of_int llsc /. float_of_int k);
-          Report.int fai;
-          fmt_amortized (float_of_int fai /. float_of_int k) ])
-      ks
-  in
-  let contention =
-    Report.make
-      ~title:
-        "E8a (Cor. 6.14): adversarial contention — k colliding \
-         registrations cost Θ(k²) RMRs with CAS- or LL/SC-emulated F&I, \
-         Θ(k) with hardware F&I"
-      ~header:
-        [ "k"; "CAS total"; "CAS/waiter"; "LL/SC total"; "LL/SC/waiter";
-          "F&I total"; "F&I/waiter" ]
-      contention_rows
-  in
-  (* The reduction itself: both transformed algorithms are reads/writes
-     only and still correct. *)
-  let comparison_steps sim =
-    List.length
-      (List.filter
-         (fun (s : History.step) ->
-           match Op.kind s.History.inv with
-           | Op.K_cas | Op.K_ll | Op.K_sc -> true
-           | Op.K_read | Op.K_write | Op.K_faa | Op.K_fas | Op.K_tas -> false)
-         (Sim.steps sim))
-  in
-  let reduction_row (module A : Signaling.POLLING) =
-    let cfg = config_for (module A) ~n:16 in
-    let o = Scenario.run_phased (module A) ~model:`Dsm ~cfg () in
-    [ A.name;
-      Report.int (comparison_steps o.Scenario.sim);
-      Report.int (List.length o.Scenario.violations);
-      Report.int o.Scenario.total_rmrs;
-      fmt_amortized o.Scenario.amortized ]
-  in
-  let reduction =
-    Report.make
-      ~title:
-        "E8b (Cor. 6.14): the reductions — zero comparison-primitive steps \
-         remain, specification still satisfied"
-      ~header:
-        [ "algorithm"; "CAS/LL/SC steps"; "violations"; "total RMRs"; "amortized" ]
-      [ reduction_row (module Cas_register.Transformed);
-        reduction_row (module Llsc_register.Transformed) ]
-  in
-  [ contention; reduction ]
-
-(* --- E9: the construction's internals (Def. 6.9 invariant) --- *)
-
-let e9 ?(n = 64) () =
-  let r = Adversary.run (module Cas_register) ~n () in
-  let rows =
-    List.map
-      (fun (s : Adversary.round_stat) ->
-        [ Report.int s.Adversary.round;
-          Report.int s.Adversary.active_before;
-          Report.int s.Adversary.active_after;
-          Report.int s.Adversary.poised;
-          Report.int (s.Adversary.erased_conflicts + s.Adversary.erased_writes);
-          (match s.Adversary.rolled_forward with
-          | Some p -> Printf.sprintf "p%d" p
-          | None -> "-");
-          Report.int s.Adversary.max_active_rmrs;
-          Report.bool (s.Adversary.max_active_rmrs <= s.Adversary.round + 1);
-          Report.bool s.Adversary.regular ])
-      r.Adversary.rounds
-  in
-  Report.make
-    ~title:
-      (Printf.sprintf
-         "E9 (Sec. 6, Def. 6.9): adversary rounds vs cas-register (N=%d) — \
-          per-round active counts and the S(i) RMR bound (each active \
-          process has at most i+1 RMRs after round i)"
-         n)
-    ~header:
-      [ "round"; "act before"; "act after"; "poised"; "erased"; "rolled";
-        "max act RMRs"; "S(i) holds"; "regular" ]
-    rows
-
-(* --- E10: group mutual exclusion (related-work context: the
-   Hadzilacos-Danek separation the paper discusses) --- *)
-
-let e10 ?(ns = [ 4; 8; 16; 32 ]) ?(entries = 3) () =
-  let model_of tag layout =
-    match tag with
-    | `Dsm -> Cost_model.dsm layout
-    | `Cc -> Cc.model ~protocol:Cc.Write_through ~interconnect:Cc.Bus ~n:0 ()
-  in
-  let algorithms : (module Sync.Gme_intf.GME) list =
-    [ (module Sync.Gme_mutex);
-      (module Sync.Gme_session_lock);
-      (module Sync.Gme_lightswitch.As_gme) ]
-  in
-  let rows =
-    List.concat_map
-      (fun (module G : Sync.Gme_intf.GME) ->
-        List.map
-          (fun n ->
-            let run tag =
-              Sync.Gme_runner.run (module G) ~model_of:(model_of tag) ~n
-                ~entries ~sessions:2 ~policy:(Schedule.Random_seed 42) ()
-            in
-            let cc = run `Cc and dsm = run `Dsm in
-            [ G.name;
-              Report.int n;
-              Report.float ~digits:1 cc.Sync.Gme_runner.avg_rmrs_per_passage;
-              Report.float ~digits:1 dsm.Sync.Gme_runner.avg_rmrs_per_passage;
-              Report.int dsm.Sync.Gme_runner.max_concurrency;
-              Report.bool
-                (cc.Sync.Gme_runner.safe && dsm.Sync.Gme_runner.safe) ])
-          ns)
-      algorithms
-  in
-  Report.make
-    ~title:
-      (Printf.sprintf
-         "E10 (Sec. 1/3 context): two-session group mutual exclusion, %d \
-          entries/process — the session lock admits same-session \
-          concurrency where the mutex reduction cannot; the Danek-\
-          Hadzilacos tight bounds (CC O(log N) vs DSM Ω(N)) are out of \
-          scope, the landscape is context"
-         entries)
-    ~header:
-      [ "algorithm"; "N"; "CC RMR/passage"; "DSM RMR/passage"; "max conc";
-        "safe" ]
-    rows
-
-(* --- E11: the semi-synchronous model (Sec. 3) — timing-based mutual
-   exclusion is safe exactly when the timing assumption holds --- *)
-
-(* Count, over many seeds, how often Fischer's lock loses an increment. *)
-let fischer_violations ~n ~delay ~policy_of ~seeds =
-  List.fold_left
-    (fun bad seed ->
-      let o =
-        Sync.Lock_runner.run
-          (Sync.Fischer_lock.with_delay delay)
-          ~model_of:Cost_model.dsm ~n ~entries:2 ~policy:(policy_of seed) ()
-      in
-      if o.Sync.Lock_runner.mutual_exclusion_held then bad else bad + 1)
-    0 seeds
-
-(* The canonical Fischer violation, forced deterministically: p0 and p1
-   both read X = NIL; then p0 runs alone through write / delay / re-check
-   and enters; only then does p1 perform its write (now the last), delay,
-   re-check X = p1, and enter too.  Returns whether both completed acquire
-   with nobody releasing, and the step gap p1 needed between its read and
-   its write — the schedule is legal in the semi-synchronous model iff
-   that gap is at most delta. *)
-let fischer_forced_overlap ~delay =
-  let ctx = Var.Ctx.create () in
-  let lock = Sync.Fischer_lock.create_timed ctx ~n:2 ~delay in
-  let layout = Var.Ctx.freeze ctx in
-  let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n:2 in
-  let acquire p =
-    Program.map (fun () -> 0) (Sync.Fischer_lock.acquire lock p)
-  in
-  let sim = Sim.begin_call sim 0 ~label:"acquire" (acquire 0) in
-  let sim = Sim.begin_call sim 1 ~label:"acquire" (acquire 1) in
-  let sim = Sim.advance sim 0 (* p0 reads X = NIL *) in
-  let sim = Sim.advance sim 1 (* p1 reads X = NIL *) in
-  let gap_start = Sim.clock sim in
-  let sim = Sim.run_to_idle sim 0 (* p0: write, delay, re-check, enter *) in
-  let gap = Sim.clock sim - gap_start + 1 (* p1's write comes next *) in
-  let sim = Sim.run_to_idle sim 1 (* p1: write, delay, re-check *) in
-  let both_in = Sim.is_idle sim 0 && Sim.is_idle sim 1 in
-  (both_in, gap)
-
-let e11 ?(n = 4) ?(delta = 6) ?(seeds = List.init 20 (fun i -> i + 1)) () =
-  let semi seed = Schedule.Semi_sync { delta; seed } in
-  let async seed = Schedule.Random_seed seed in
-  let forced_row delay =
-    let both_in, gap = fischer_forced_overlap ~delay in
-    [ "forced overlap (async)";
-      Report.int delay;
-      (if both_in then "both entered CS" else "excluded");
-      Printf.sprintf "gap %d %s delta=%d %s" gap
-        (if gap <= delta then "<=" else ">")
-        delta
-        (if gap <= delta then "(legal even semi-sync!)" else "(async only)") ]
-  in
-  let sampled_row label policy_of delay =
-    let bad = fischer_violations ~n ~delay ~policy_of ~seeds in
-    [ label;
-      Report.int delay;
-      Printf.sprintf "%d/%d seeds violated" bad (List.length seeds);
-      (if bad = 0 then "safe" else "UNSAFE") ]
-  in
-  let safe_delay = (2 * delta) + n in
-  Report.make
-    ~title:
-      (Printf.sprintf
-         "E11 (Sec. 3 context): Fischer's timing-based lock (N=%d).  The \
-          forced two-process overlap needs a read-to-write gap of delay+2 \
-          ticks: asynchrony always allows it; the semi-synchronous model \
-          (gap <= %d) allows it only when the delay is too small — timing \
-          is exactly what the algorithm's safety buys"
-         n delta)
-    ~header:[ "scenario"; "delay"; "outcome"; "schedule legality / verdict" ]
-    [ forced_row 1;
-      forced_row safe_delay;
-      sampled_row (Printf.sprintf "semi-sync(delta=%d), sampled" delta) semi safe_delay;
-      sampled_row "async (random), sampled" async 1 ]
-
-(* --- E12: finite caches (Sec. 8) — ideal-cache RMR bounds are
-   underestimates once the working set outgrows the cache --- *)
-
-let e12 ?(n = 16) ?(capacities = [ 1; 2; 4; 8 ]) () =
-  (* A waiter whose poll touches several variables (the queue algorithm's
-     registration path) under shrinking caches: with an ideal cache the
-     post-registration polls are free; with capacity 1 the working set
-     thrashes. *)
-  let run capacity =
-    let cfg = config_for (module Dsm_queue) ~n in
-    (* Build the model directly: Scenario's tags don't carry capacity. *)
-    let ctx = Var.Ctx.create () in
-    let inst = Signaling.instantiate (module Dsm_queue) ctx cfg in
-    let layout = Var.Ctx.freeze ctx in
-    let model =
-      Cc.model ~protocol:Cc.Write_through ~interconnect:Cc.Bus ?capacity ~n ()
-    in
-    let sim = Sim.create ~model ~layout ~n in
-    (* Each waiter polls four times before the signal: under an ideal
-       cache, polls 2-4 are all cache hits. *)
-    let sim =
-      List.fold_left
-        (fun sim round ->
-          ignore round;
-          List.fold_left
-            (fun sim w ->
-              fst
-                (Sim.run_call sim w ~label:Signaling.poll_label
-                   (inst.Signaling.i_poll w)))
-            sim cfg.Signaling.waiters)
-        sim [ 0; 1; 2; 3 ]
-    in
-    let sim, _ =
-      Sim.run_call sim 0 ~label:Signaling.signal_label (inst.Signaling.i_signal 0)
-    in
-    Sim.total_rmrs sim
-  in
-  let ideal = run None in
-  let rows =
-    List.map
-      (fun c ->
-        let rmrs = run (Some c) in
-        [ Report.int c;
-          Report.int rmrs;
-          Report.float ~digits:2 (float_of_int rmrs /. float_of_int ideal) ])
-      capacities
-    @ [ [ "ideal"; Report.int ideal; "1.00" ] ]
-  in
-  Report.make
-    ~title:
-      (Printf.sprintf
-         "E12 (Sec. 8): dsm-queue polls under CC with finite caches (N=%d) \
-          — LRU eviction makes repeated polls miss again, so the \
-          ideal-cache RMR counts underestimate real machines"
-         n)
-    ~header:[ "capacity"; "total RMRs"; "vs ideal" ]
-    rows
-
-(* --- E13: blocking semantics (Sec. 7's Wait() solutions) --- *)
-
-module Blocking_cc_flag = Signaling.Blocking_of_polling (Cc_flag)
-module Blocking_queue = Signaling.Blocking_of_polling (Dsm_queue)
-module Blocking_registration = Signaling.Blocking_of_polling (Dsm_registration)
-
-let blocking_algorithms : (module Signaling.BLOCKING) list =
-  [ (module Blocking_cc_flag);
-    (module Blocking_registration);
-    (module Blocking_queue);
-    (module Dsm_leader) ]
-
-let config_for_blocking ~n =
-  Signaling.config ~n ~waiters:(List.init (n - 1) (fun i -> i + 1)) ~signalers:[ 0 ]
-
-let e13 ?(n = 24) ?(seed = 11) () =
-  let rows =
-    List.concat_map
-      (fun (module B : Signaling.BLOCKING) ->
-        List.map
-          (fun model ->
-            let cfg = config_for_blocking ~n in
-            let o = Scenario.run_blocking (module B) ~model ~cfg ~seed () in
-            [ B.name;
-              Scenario.model_tag_name model;
-              Report.int o.Scenario.max_waiter_rmrs;
-              Report.int o.Scenario.signaler_rmrs;
-              Report.int o.Scenario.total_rmrs;
-              Report.int o.Scenario.unfinished_waiters;
-              Report.int (List.length o.Scenario.violations) ])
-          [ `Dsm; `Cc_wt ])
-      blocking_algorithms
-  in
-  Report.make
-    ~title:
-      (Printf.sprintf
-         "E13 (Sec. 7, blocking semantics): Wait() solutions under a \
-          randomized schedule (N=%d).  Spin-wrapped cc-flag busy-waits \
-          remotely in DSM (waiter RMRs grow with the wait — unbounded in \
-          general); dsm-leader concentrates the cost in one elected \
-          waiter and keeps followers local; every Wait() returns after \
-          the Signal()"
-         n)
-    ~header:
-      [ "algorithm"; "model"; "waiter max"; "signaler"; "total"; "unfinished";
-        "violations" ]
-    rows
-
-(* --- the full suite --- *)
+let contention_total = E8_cas.contention_total
 
 let all () =
-  [ e1 () ]
-  @ [ e2 ~ns:[ 8; 16; 32; 64; 128 ] () ]
-  @ e3 ()
-  @ [ e4 (); e5 (); e6 (); e7 () ]
-  @ e8 ()
-  @ [ e9 (); e10 (); e11 (); e12 (); e13 () ]
+  reports
+    (Runner.tables
+       (Runner.run ~jobs:1 ~size:Experiment_def.Default
+          (Experiment_registry.all ())))
 
 let run_all ppf =
   List.iter (fun t -> Fmt.pf ppf "%a@." Report.pp t) (all ())

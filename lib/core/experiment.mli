@@ -1,77 +1,40 @@
-(** The experiment suite: one measured table per complexity claim.
+(** Compatibility façade over the experiment registry.
 
-    The paper has no evaluation section (its only figure is the architecture
-    diagram the cost models implement), so each experiment regenerates a
-    claim from Sections 3, 5, 6, 7 or 8 as a reproducible table;
-    EXPERIMENTS.md records claim vs. measurement.  All runs are
-    deterministic. *)
+    The experiment suite lives under [lib/core/experiments/]: one module
+    per experiment, each exposing an {!Experiment_def.spec}, enumerated by
+    {!Experiment_registry.all} and executed by {!Runner}.  This module
+    re-exports the historical entry points — [e1]..[e13] as {!Report.t}
+    text tables and the algorithm catalog of {!Algorithms} — so existing
+    callers keep working; prefer the registry for new code. *)
 
 module Queue_multi_signaler : Signaling.POLLING
-(** [Multi_signaler.Make (Dsm_queue)]: the Section 7 many-signalers
-    construction over the queue solution, registered so the CLI and the
-    landscape experiments cover it. *)
 
 val polling_algorithms : (module Signaling.POLLING) list
-(** Every polling algorithm shipped, in presentation order. *)
-
 val find_algorithm : string -> (module Signaling.POLLING) option
-
 val config_for : (module Signaling.POLLING) -> n:int -> Signaling.config
-(** The standard configuration: process 0 signals, everyone else may wait
-    (one waiter for the single-waiter algorithm). *)
-
 val locks : (module Sync.Mutex_intf.LOCK) list
-
-val e1 : ?ns:int list -> unit -> Report.t
-(** Section 5: the CC flag algorithm is O(1) RMRs per process. *)
-
-val e2 : ?ns:int list -> unit -> Report.t
-(** Theorem 6.2: the adversary forces amortized Θ(N) on a reads/writes
-    algorithm and is defeated (erasures blocked) by the F&I queue. *)
-
-val e3 : ?n:int -> ?partial:int -> unit -> Report.t list
-(** Section 7 landscape under DSM, full and partial participation. *)
-
-val e4 : ?n:int -> ?ks:int list -> unit -> Report.t
-(** Section 7: the queue solution is O(1) amortized for every k. *)
-
-val e5 : ?n:int -> unit -> Report.t
-(** The cross-model matrix — the separation itself. *)
-
-val e6 : ?ns:int list -> unit -> Report.t
-(** Section 8: RMRs vs. coherence messages under bus/directory interconnects. *)
-
-val e7 : ?ns:int list -> ?entries:int -> unit -> Report.t
-(** Section 3: the mutual-exclusion RMR landscape. *)
-
-val e8 : ?n:int -> ?ks:int list -> unit -> Report.t list
-(** Corollary 6.14: CAS contention blowup, and the read/write reduction. *)
-
-val e9 : ?n:int -> unit -> Report.t
-(** Section 6 internals: per-round statistics vs. the Def. 6.9 invariant. *)
-
-val e10 : ?ns:int list -> ?entries:int -> unit -> Report.t
-(** Related-work context: two-session group mutual exclusion — the problem
-    of the Hadzilacos-Danek separation the paper discusses. *)
-
-val e11 : ?n:int -> ?delta:int -> ?seeds:int list -> unit -> Report.t
-(** Related-work context: Fischer's timing-based lock is safe under the
-    semi-synchronous model (Section 3) and violable without it. *)
-
-val e12 : ?n:int -> ?capacities:int list -> unit -> Report.t
-(** Section 8: finite LRU caches make the ideal-cache RMR counts
-    underestimates. *)
-
 val blocking_algorithms : (module Signaling.BLOCKING) list
 
+val e1 : ?ns:int list -> unit -> Report.t
+val e2 : ?ns:int list -> unit -> Report.t
+val e3 : ?n:int -> ?partial:int -> unit -> Report.t list
+val e4 : ?n:int -> ?ks:int list -> unit -> Report.t
+val e5 : ?n:int -> unit -> Report.t
+val e6 : ?ns:int list -> unit -> Report.t
+val e7 : ?ns:int list -> ?entries:int -> unit -> Report.t
+val e8 : ?n:int -> ?ks:int list -> unit -> Report.t list
+val e9 : ?n:int -> unit -> Report.t
+val e10 : ?ns:int list -> ?entries:int -> unit -> Report.t
+val e11 : ?n:int -> ?delta:int -> ?seeds:int list -> unit -> Report.t
+val e12 : ?n:int -> ?capacities:int list -> unit -> Report.t
 val e13 : ?n:int -> ?seed:int -> unit -> Report.t
-(** Section 7, blocking semantics: the Wait() solutions under randomized
-    schedules, per model. *)
 
 val contention_total : (module Signaling.POLLING) -> n:int -> k:int -> int
 (** Total RMRs when [k] waiters register under the maximal-collision
     schedule of E8a. *)
 
 val all : unit -> Report.t list
+(** Every registered experiment's tables, in registry order ([Default]
+    parameter sets, sequential). *)
 
 val run_all : Format.formatter -> unit

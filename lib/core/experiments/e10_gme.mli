@@ -1,0 +1,8 @@
+(** E10 — related-work context: two-session group mutual exclusion (the
+    problem of the Hadzilacos-Danek separation the paper discusses).
+    Expected shape: every algorithm safe in both models. *)
+
+val table :
+  ?jobs:int -> ?ns:int list -> ?entries:int -> unit -> Results.table
+
+val spec : Experiment_def.spec

@@ -1,0 +1,10 @@
+(** E11 — related-work context: Fischer's timing-based lock is safe under
+    the semi-synchronous model (Section 3) and violable without it.
+    Expected shape: semi-sync sampling safe, async sampling UNSAFE, the
+    forced overlap defeats a too-small delay. *)
+
+val table :
+  ?jobs:int -> ?n:int -> ?delta:int -> ?seeds:int list -> unit ->
+  Results.table
+
+val spec : Experiment_def.spec

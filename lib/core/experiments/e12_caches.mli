@@ -1,0 +1,8 @@
+(** E12 — Section 8: finite LRU caches make the ideal-cache RMR counts
+    underestimates.  Expected shape: every finite capacity >= ideal,
+    capacity 1 strictly more. *)
+
+val table :
+  ?jobs:int -> ?n:int -> ?capacities:int list -> unit -> Results.table
+
+val spec : Experiment_def.spec

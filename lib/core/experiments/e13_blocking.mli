@@ -1,0 +1,7 @@
+(** E13 — Section 7, blocking semantics: the Wait() solutions under
+    randomized schedules, per model.  Expected shape: every Wait() returns,
+    no violations. *)
+
+val table : ?jobs:int -> ?n:int -> ?seed:int -> unit -> Results.table
+
+val spec : Experiment_def.spec

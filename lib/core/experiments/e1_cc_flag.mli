@@ -1,0 +1,6 @@
+(** E1 — Section 5 upper bound: the CC flag algorithm is O(1) RMRs per
+    process.  Expected shape: flat in N. *)
+
+val table : ?jobs:int -> ?ns:int list -> unit -> Results.table
+
+val spec : Experiment_def.spec

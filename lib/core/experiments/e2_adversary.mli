@@ -1,0 +1,8 @@
+(** E2 — Theorem 6.2: the adversary forces amortized Θ(N) on a
+    reads/writes algorithm and is defeated (erasures blocked) by the F&I
+    queue.  Expected shape: amortized grows for dsm-broadcast, flat for
+    dsm-queue. *)
+
+val table : ?jobs:int -> ?ns:int list -> unit -> Results.table
+
+val spec : Experiment_def.spec

@@ -1,0 +1,8 @@
+(** E3 — Section 7 landscape under DSM, full (a) and partial (b)
+    participation.  Expected shape: dsm-fixed-term blocks in (b). *)
+
+val tables :
+  ?jobs:int -> ?n:int -> ?partial:int -> unit -> Results.table list
+(** Two tables: full participation, then partial. *)
+
+val spec : Experiment_def.spec

@@ -1,0 +1,6 @@
+(** E4 — Section 7: the queue solution is O(1) amortized for every
+    participation level k.  Expected shape: amortized flat across k. *)
+
+val table : ?jobs:int -> ?n:int -> ?ks:int list -> unit -> Results.table
+
+val spec : Experiment_def.spec

@@ -1,0 +1,7 @@
+(** E5 — the cross-model matrix: worst per-process / amortized RMRs per
+    cost model.  Expected shape: the separation — cc-flag O(1) in every CC
+    column, Θ(N) under DSM. *)
+
+val table : ?jobs:int -> ?n:int -> unit -> Results.table
+
+val spec : Experiment_def.spec

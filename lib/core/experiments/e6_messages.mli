@@ -1,0 +1,7 @@
+(** E6 — Section 8: RMRs vs. coherence messages under bus/directory
+    interconnects.  Expected shape: msgs/RMR >= 1, directories send more
+    than the bus. *)
+
+val table : ?jobs:int -> ?ns:int list -> unit -> Results.table
+
+val spec : Experiment_def.spec

@@ -1,0 +1,7 @@
+(** E7 — Section 3: the mutual-exclusion RMR landscape under contention.
+    Expected shape: mutual exclusion holds everywhere. *)
+
+val table :
+  ?jobs:int -> ?ns:int list -> ?entries:int -> unit -> Results.table
+
+val spec : Experiment_def.spec

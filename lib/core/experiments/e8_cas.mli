@@ -1,0 +1,13 @@
+(** E8 — Corollary 6.14: CAS/LL-SC contention blowup (a) and the
+    read/write reductions (b).  Expected shape: emulated F&I per-waiter
+    cost grows with k, hardware F&I stays flat; the reductions execute
+    zero comparison steps. *)
+
+val contention_total : (module Signaling.POLLING) -> n:int -> k:int -> int
+(** Total RMRs when [k] waiters register under the maximal-collision
+    schedule of E8a. *)
+
+val tables : ?jobs:int -> ?n:int -> ?ks:int list -> unit -> Results.table list
+(** Two tables: contention, then the reductions. *)
+
+val spec : Experiment_def.spec

@@ -1,0 +1,78 @@
+(* E9: the Section 6 construction's internals (Def. 6.9 invariant). *)
+
+let default_n = 64
+let reduced_n = 32
+
+let claim =
+  "Sec. 6, Def. 6.9: after round i of the construction every active \
+   process has at most i+1 RMRs, and the surviving history stays regular"
+
+let table ?(jobs = 1) ?(n = default_n) () =
+  ignore jobs (* one adversary run; nothing to fan out *);
+  let r = Adversary.run (module Cas_register) ~n () in
+  let rows =
+    List.map
+      (fun (s : Adversary.round_stat) ->
+        Results.
+          [ int s.Adversary.round;
+            int s.Adversary.active_before;
+            int s.Adversary.active_after;
+            int s.Adversary.poised;
+            int (s.Adversary.erased_conflicts + s.Adversary.erased_writes);
+            text
+              (match s.Adversary.rolled_forward with
+              | Some p -> Printf.sprintf "p%d" p
+              | None -> "-");
+            int s.Adversary.max_active_rmrs;
+            bool (s.Adversary.max_active_rmrs <= s.Adversary.round + 1);
+            bool s.Adversary.regular ])
+      r.Adversary.rounds
+  in
+  Results.make ~experiment:"e9"
+    ~title:
+      (Printf.sprintf
+         "E9 (Sec. 6, Def. 6.9): adversary rounds vs cas-register (N=%d) — \
+          per-round active counts and the S(i) RMR bound (each active \
+          process has at most i+1 RMRs after round i)"
+         n)
+    ~claim
+    ~params:[ ("n", Results.int n) ]
+    ~columns:
+      Results.
+        [ param "round"; measure "act before"; measure "act after";
+          measure "poised"; measure "erased"; measure "rolled";
+          measure "max act RMRs"; measure "S(i) holds"; measure "regular" ]
+    rows
+
+(* Regularity is NOT expected to hold at every round here: cas-register's
+   read-like CAS visibility breaks Def. 6.6 (the documented reason
+   Cor. 6.14 proceeds by reduction) — the invariant under test is the
+   S(i) RMR bound plus "at most one process finishes per round". *)
+let shape = function
+  | [ t ] ->
+    let open Experiment_def in
+    shape_all t "S(i) holds" (( = ) (Results.Bool true)) >>> fun () ->
+    check
+      (List.for_all2
+         (fun before after ->
+           match (Results.to_int before, Results.to_int after) with
+           | Some b, Some a -> b - a <= 1
+           | _ -> false)
+         (Results.column_values t "act before")
+         (Results.column_values t "act after"))
+      "e9: more than one process finished in a single round"
+  | _ -> Error "e9: expected exactly one table"
+
+let spec =
+  Experiment_def.
+    { id = "e9";
+      title = "adversary round internals vs the Def. 6.9 invariant";
+      claim;
+      shape_note =
+        "S(i) bound holds at every round and at most one process finishes \
+         per round (regularity alternates by design on cas-register)";
+      run =
+        (fun ~jobs size ->
+          let n = match size with Default -> default_n | Reduced -> reduced_n in
+          [ table ~jobs ~n () ]);
+      shape }

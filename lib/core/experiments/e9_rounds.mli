@@ -1,0 +1,7 @@
+(** E9 — Section 6 internals: per-round statistics vs. the Def. 6.9
+    invariant.  Expected shape: the S(i) bound and regularity hold at
+    every round. *)
+
+val table : ?jobs:int -> ?n:int -> unit -> Results.table
+
+val spec : Experiment_def.spec

@@ -1,0 +1,29 @@
+(* The shape of a registered experiment; see the .mli. *)
+
+type size = Default | Reduced
+
+type spec = {
+  id : string;
+  title : string;
+  claim : string;
+  shape_note : string;
+  run : jobs:int -> size -> Results.table list;
+  shape : Results.table list -> (unit, string) result;
+}
+
+let shape_all t col p =
+  let values = Results.column_values t col in
+  match
+    List.find_index (fun v -> not (p v)) values
+  with
+  | None -> Ok ()
+  | Some i ->
+    Error
+      (Printf.sprintf "%s%s: row %d violates the expectation on %S"
+         t.Results.experiment
+         (match t.Results.part with Some p -> p | None -> "")
+         i col)
+
+let check cond msg = if cond then Ok () else Error msg
+
+let ( >>> ) r k = match r with Ok () -> k () | Error _ as e -> e

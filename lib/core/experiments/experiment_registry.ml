@@ -1,0 +1,39 @@
+(* The experiment registry.  One registration line per experiment. *)
+
+let builtin : Experiment_def.spec list =
+  [ E1_cc_flag.spec;
+    E2_adversary.spec;
+    E3_landscape.spec;
+    E4_queue_k.spec;
+    E5_separation.spec;
+    E6_messages.spec;
+    E7_mutex.spec;
+    E8_cas.spec;
+    E9_rounds.spec;
+    E10_gme.spec;
+    E11_timing.spec;
+    E12_caches.spec;
+    E13_blocking.spec ]
+
+let extras : Experiment_def.spec list ref = ref []
+
+let all () = builtin @ List.rev !extras
+
+let ids () = List.map (fun s -> s.Experiment_def.id) (all ())
+
+let find id =
+  List.find_opt (fun s -> s.Experiment_def.id = id) (all ())
+
+let find_exn id =
+  match find id with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown experiment %S; valid ids: %s" id
+         (String.concat " " (ids ())))
+
+let register spec =
+  let id = spec.Experiment_def.id in
+  if find id <> None then
+    invalid_arg (Printf.sprintf "experiment %S is already registered" id)
+  else extras := spec :: !extras

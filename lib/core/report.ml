@@ -42,9 +42,11 @@ let print t = pp Fmt.stdout t
 
 let to_string t = Fmt.str "%a" pp t
 
-(* RFC-4180-ish CSV: quote cells containing separators or quotes. *)
+(* RFC-4180 CSV: quote cells containing separators, quotes or line breaks
+   (both LF and CR — bare CR is a record separator to some readers). *)
 let csv_cell c =
-  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n' || ch = '\r') c
+  then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
   else c
 

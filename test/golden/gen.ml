@@ -1,0 +1,26 @@
+(* Regenerates the golden JSON fixtures pinned by test_experiments.ml.
+
+   Run from the repository root after an intentional change to the JSON
+   format or to the experiment numbers:
+
+     dune exec test/golden/gen.exe
+
+   then review the diff before committing. *)
+
+let fixtures =
+  [ ( "test/golden/e1_small.json",
+      fun () -> Core.Results.to_json (Core.E1_cc_flag.table ~ns:[ 2; 4 ] ()) );
+    ( "test/golden/e4_small.json",
+      fun () ->
+        Core.Results.to_json (Core.E4_queue_k.table ~n:16 ~ks:[ 1; 2; 4 ] ())
+    ) ]
+
+let () =
+  List.iter
+    (fun (path, render) ->
+      let oc = open_out_bin path in
+      output_string oc (render ());
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path)
+    fixtures

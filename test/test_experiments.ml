@@ -104,6 +104,77 @@ let test_e2_golden_numbers () =
     | Some c -> c.Adversary.chase_erase_failures
     | None -> -1)
 
+(* --- registry, runner, and golden JSON --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_registry () =
+  let ids = Experiment_registry.ids () in
+  check_int "13 experiments registered" 13 (List.length ids);
+  check_true "ids unique" (List.sort_uniq compare ids = List.sort compare ids);
+  check_true "find by id"
+    (match Experiment_registry.find "e5" with
+    | Some s -> s.Experiment_def.id = "e5"
+    | None -> false);
+  check_true "find unknown" (Experiment_registry.find "e99" = None);
+  check_true "find_exn unknown raises with the valid ids"
+    (match Experiment_registry.find_exn "e99" with
+    | exception Invalid_argument msg ->
+      List.for_all
+        (fun id ->
+          let n = String.length id and h = String.length msg in
+          let rec go i =
+            i + n <= h && (String.sub msg i n = id || go (i + 1))
+          in
+          go 0)
+        ids
+    | _ -> false)
+
+let test_runner_shapes () =
+  (* Default-size runs carry their shape verdict; Reduced runs skip it
+     (the reduced parameter sets are too small for growth checks). *)
+  let e1 = Experiment_registry.find_exn "e1" in
+  (match Runner.run ~jobs:1 ~size:Experiment_def.Default [ e1 ] with
+  | [ o ] ->
+    check_true "e1 default shape ok" (o.Runner.shape = Some (Ok ()));
+    check_true "tables tagged e1"
+      (List.for_all (fun t -> t.Results.experiment = "e1") o.Runner.tables)
+  | _ -> Alcotest.fail "expected one outcome");
+  match Runner.run ~jobs:1 ~size:Experiment_def.Reduced [ e1 ] with
+  | [ o ] -> check_true "reduced skips shape" (o.Runner.shape = None)
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_jobs_deterministic () =
+  (* The --jobs guarantee: parallel and sequential runs are byte-identical.
+     The whole reduced suite through the runner, JSON-rendered, at 1 vs 2
+     domains. *)
+  let render jobs =
+    Results.to_json_many
+      (Runner.tables
+         (Runner.run ~jobs ~size:Experiment_def.Reduced
+            (Experiment_registry.all ())))
+  in
+  Alcotest.(check string) "jobs=2 byte-identical to jobs=1" (render 1)
+    (render 2)
+
+let test_e1_golden_json () =
+  (* Byte-for-byte pin of the stable JSON format on a tiny deterministic
+     table; regenerate with `dune exec test/golden/gen.exe`. *)
+  Alcotest.(check string)
+    "golden JSON e1"
+    (read_file "golden/e1_small.json")
+    (Results.to_json (E1_cc_flag.table ~ns:[ 2; 4 ] ()) ^ "\n")
+
+let test_e4_golden_json () =
+  Alcotest.(check string)
+    "golden JSON e4"
+    (read_file "golden/e4_small.json")
+    (Results.to_json (E4_queue_k.table ~n:16 ~ks:[ 1; 2; 4 ] ()) ^ "\n")
+
 let test_report_csv () =
   let t =
     Report.make ~title:"t" ~header:[ "a"; "b" ]
@@ -136,6 +207,11 @@ let suite =
     case "E8 contention shapes" test_e8_contention_shape;
     case "E9 builds" test_e9_builds;
     case "algorithm registry lookup" test_find_algorithm;
+    case "experiment registry" test_registry;
+    case "runner shape verdicts" test_runner_shapes;
+    case "runner jobs determinism" test_jobs_deterministic;
+    case "E1 golden JSON" test_e1_golden_json;
+    case "E4 golden JSON" test_e4_golden_json;
     case "E1 golden output" test_e1_golden;
     case "E2 golden numbers" test_e2_golden_numbers;
     case "report csv" test_report_csv;

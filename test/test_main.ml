@@ -21,4 +21,5 @@ let () =
       ("explore", Test_explore.suite);
       ("crash", Test_crash.suite);
       ("ablation", Test_ablation.suite);
+      ("report", Test_report.suite);
       ("experiments", Test_experiments.suite) ]
