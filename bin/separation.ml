@@ -117,7 +117,32 @@ let explore_cmd =
       value & opt int 1_000_000
       & info [ "cap" ] ~docv:"H" ~doc:"Maximum histories to enumerate.")
   in
-  let run (module A : Core.Signaling.POLLING) n waiters polls cap =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"J"
+          ~doc:
+            "Domains to fan the search across.  Every reported number is \
+             byte-identical for every value.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the result as a stable JSON table on stdout.")
+  in
+  let no_dedup =
+    Arg.(
+      value & flag
+      & info [ "no-dedup" ] ~doc:"Disable state-fingerprint deduplication.")
+  in
+  let no_por =
+    Arg.(
+      value & flag
+      & info [ "no-por" ] ~doc:"Disable sleep-set partial-order reduction.")
+  in
+  let run (module A : Core.Signaling.POLLING) n waiters polls cap jobs json
+      no_dedup no_por =
     let open Smr in
     let ctx = Var.Ctx.create () in
     let waiter_pids = List.init waiters (fun i -> i + 1) in
@@ -137,31 +162,70 @@ let explore_cmd =
            waiter_pids
     in
     let r =
-      Explore.check ~max_histories:cap ~layout ~model:(Cost_model.dsm layout)
-        ~n ~scripts
+      Explore.check ~max_histories:cap ~dedup:(not no_dedup) ~por:(not no_por)
+        ~jobs ~layout ~model:(Cost_model.dsm layout) ~n ~scripts
         ~property:(fun sim -> Core.Signaling.check_polling (Sim.calls sim) = [])
         ()
     in
-    Fmt.pr "%s: %d histories%s, %s@." A.name r.Explore.histories
-      (if r.Explore.truncated > 0 then
-         Printf.sprintf " (%d spin-truncated)" r.Explore.truncated
-       else "")
-      (if r.Explore.complete then "exhaustive" else "capped");
-    match r.Explore.violation with
-    | None -> Fmt.pr "Specification 4.1 holds on every explored history.@."
-    | Some sim ->
-      Fmt.pr "VIOLATION FOUND:@.";
-      List.iter
-        (fun v -> Fmt.pr "  %a@." Core.Signaling.pp_violation v)
-        (Core.Signaling.check_polling (Sim.calls sim));
-      Smr.Timeline.print sim
+    (* The table carries only jobs-invariant facts: jobs and wall time stay
+       out so a jobs=1 vs jobs=J byte-comparison of the JSON is meaningful;
+       timing goes to stderr. *)
+    let table =
+      Core.Results.make ~experiment:"explore"
+        ~title:
+          (Printf.sprintf "Exhaustive check of %s (N=%d, %d waiters)" A.name n
+             waiters)
+        ~claim:"Specification 4.1 holds on every explored interleaving"
+        ~params:
+          Core.Results.
+            [ ("algorithm", text A.name); ("n", int n); ("waiters", int waiters);
+              ("polls", int polls); ("cap", int cap);
+              ("dedup", bool (not no_dedup)); ("por", bool (not no_por)) ]
+        ~columns:
+          Core.Results.
+            [ measure "histories"; measure "truncated"; measure "complete";
+              measure "violation"; measure "states"; measure "dedup_hits";
+              measure "por_prunes"; measure "tasks"; measure "max_depth" ]
+        Core.Results.
+          [ [ int r.Explore.histories; int r.Explore.truncated;
+              bool r.Explore.complete; bool (r.Explore.violation <> None);
+              int r.Explore.stats.Explore.states;
+              int r.Explore.stats.Explore.dedup_hits;
+              int r.Explore.stats.Explore.por_prunes;
+              int r.Explore.stats.Explore.tasks;
+              int r.Explore.stats.Explore.max_depth ] ]
+    in
+    Fmt.epr "search took %.2fs (%d jobs)@." r.Explore.stats.Explore.wall_s jobs;
+    if json then print_string (Core.Results.to_json table)
+    else begin
+      Fmt.pr "%s: %d histories%s, %s; %d states (%d dedup hits, %d POR \
+              prunes, %d tasks, max depth %d)@."
+        A.name r.Explore.histories
+        (if r.Explore.truncated > 0 then
+           Printf.sprintf " (%d spin-truncated)" r.Explore.truncated
+         else "")
+        (if r.Explore.complete then "exhaustive" else "capped")
+        r.Explore.stats.Explore.states r.Explore.stats.Explore.dedup_hits
+        r.Explore.stats.Explore.por_prunes r.Explore.stats.Explore.tasks
+        r.Explore.stats.Explore.max_depth;
+      match r.Explore.violation with
+      | None -> Fmt.pr "Specification 4.1 holds on every explored history.@."
+      | Some sim ->
+        Fmt.pr "VIOLATION FOUND:@.";
+        List.iter
+          (fun v -> Fmt.pr "  %a@." Core.Signaling.pp_violation v)
+          (Core.Signaling.check_polling (Sim.calls sim));
+        Smr.Timeline.print sim
+    end
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
          "Exhaustively enumerate every interleaving of a small \
           configuration and check Specification 4.1.")
-    Term.(const run $ algo $ n_arg $ waiters $ polls $ cap)
+    Term.(
+      const run $ algo $ n_arg $ waiters $ polls $ cap $ jobs $ json $ no_dedup
+      $ no_por)
 
 let adversary_cmd =
   let rounds =

@@ -216,8 +216,8 @@ let run_blocking (module A : Signaling.BLOCKING) ~model ~cfg ~seed
                 calls))
          cfg.Signaling.waiters)
   in
+  (* [summarize] already contributes the polling-clause violations (none of
+     which a blocking history's Wait calls can trigger twice), so the Wait
+     clause's findings are simply appended. *)
   let base = summarize cfg sim ~unfinished in
-  { base with
-    violations =
-      base.violations
-      @ List.map (fun v -> v) blocking_violations }
+  { base with violations = base.violations @ blocking_violations }

@@ -180,6 +180,25 @@ let check_blocking calls =
 
 let validate_config (flex : flexibility) (cfg : config) =
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let bounded role pids =
+    match List.find_opt (fun p -> p < 0 || p >= cfg.n) pids with
+    | Some p -> fail "%s pid %d out of range for %d process(es)" role p cfg.n
+    | None -> Ok ()
+  in
+  let distinct role pids =
+    let rec dup = function
+      | [] -> None
+      | p :: rest -> if List.mem p rest then Some p else dup rest
+    in
+    match dup pids with
+    | Some p -> fail "%s pid %d listed more than once" role p
+    | None -> Ok ()
+  in
+  let* () = bounded "waiter" cfg.waiters in
+  let* () = bounded "signaler" cfg.signalers in
+  let* () = distinct "waiter" cfg.waiters in
+  let* () = distinct "signaler" cfg.signalers in
   match flex.max_waiters with
   | Some m when List.length cfg.waiters > m ->
     fail "algorithm supports at most %d waiter(s), %d configured" m

@@ -88,6 +88,9 @@ val check_blocking : History.call list -> violation list
 (** {1 Instantiation} *)
 
 val validate_config : flexibility -> config -> (unit, string) result
+(** Rejects, with a descriptive message: waiter or signaler pids outside
+    [0, n), duplicate entries within either role list, and role counts
+    beyond the algorithm's [flexibility] bounds. *)
 
 (** An algorithm instance with its typed state closed over, exposing the
     untyped programs the simulator consumes (Poll's Boolean is 0/1). *)

@@ -7,12 +7,50 @@
    branch is just a retained binding) and evaluates a property on every
    complete history.
 
-   Interleavings explode combinatorially, so this is for small
-   configurations (2-3 processes, a handful of steps each); [max_histories]
-   caps the search and the result says whether the enumeration was
-   complete.  Properties over completed histories suffice for safety
-   (Specification 4.1 violations are recorded in the call list and persist
-   to the end of the history). *)
+   The naive step-level DFS explodes combinatorially, so three reductions
+   make exhaustive checking scale past toy scopes, all of them exploiting
+   the persistence of [Sim.t]:
+
+   - State deduplication.  A canonical fingerprint of (memory contents,
+     per-process control point) identifies states whose futures coincide;
+     a revisited state is pruned.  Soundness needs the fingerprint to
+     determine both future behavior and future property verdicts, which is
+     why it includes, per running call, the responses received so far (the
+     continuation of a deterministic program is a function of them) and a
+     snapshot of every process's completed-call count at the call's start
+     (Specification-4.1-style verdicts compare a call's start against
+     earlier completions).  Begun counts are deliberately not snapshotted:
+     began-before-began is not an interval-order relation, so states that
+     differ only in the order of concurrent call starts merge.
+
+   - Sleep-set partial-order reduction.  Two enabled moves commute when
+     swapping them changes neither future machine behavior nor any
+     interval-order relation: two advances whose operations commute
+     ([Op.commute]: different cells, or both read-only), two begins
+     (scripts read only their own process's state and a begin touches no
+     memory), and a begin against a non-completing advance.  A call
+     completion is an interval endpoint, so nothing slides past it except
+     commuting advances (no call start separates two adjacent non-begin
+     moves).  Only one representative order per commuting pair is
+     explored.
+
+   - Deterministic frontier parallelism.  The first [split_depth] levels
+     are expanded sequentially into independent subtree tasks which fan
+     out across domains via [Parallel.map]; each task owns a private
+     visited table and a fixed slice of the history budget, so the merged
+     verdict is byte-identical for every job count.
+
+   Dedup and POR assume (and [check]'s documentation requires) that the
+   property judges each call, at its completion, from the call's own
+   result and its interval-order relations (which calls completed before
+   it began, which began before it finished) — true of Specification 4.1
+   and the GME occupancy predicate — and that scripts consult only the
+   script-visible state (own call count and last result).  Both
+   reductions can be switched off, which restores the seed checker's
+   exact leaf-per-interleaving semantics ([count] does exactly that). *)
+
+module Pid_map = Sim.Pid_map
+module Pid_set = Sim.Pid_set
 
 (* What a process does between calls: a PURE function of the machine state
    (branches share nothing, so stateful closures would corrupt the
@@ -20,9 +58,10 @@
 type script = Sim.t -> Op.pid -> (string * Op.value Program.t) option
 
 (* A fixed list of calls, performed in order; the per-branch position is
-   recovered from the machine itself (number of calls begun so far). *)
+   recovered from the machine itself (number of calls begun so far,
+   O(log n) via the simulator's per-process ordinal map). *)
 let of_list calls : script =
- fun sim p -> List.nth_opt calls (List.length (Sim.calls_of sim p))
+ fun sim p -> List.nth_opt calls (Sim.call_count sim p)
 
 (* Repeat a call until its result satisfies [until], at most [limit]
    times — e.g. "Poll() until it returns true", the history restriction of
@@ -32,74 +71,474 @@ let repeat ?(limit = max_int) ~until (label, program) : script =
   match Sim.last_result sim p with
   | Some r when until r -> None
   | Some _ | None ->
-    if List.length (Sim.calls_of sim p) >= limit then None
-    else Some (label, program)
+    if Sim.call_count sim p >= limit then None else Some (label, program)
+
+type stats = {
+  states : int; (* search nodes visited (dedup/POR-pruned nodes included) *)
+  dedup_hits : int; (* nodes pruned because an equivalent state was explored *)
+  por_prunes : int; (* nodes whose every enabled move was asleep *)
+  tasks : int; (* parallel subtree tasks the frontier split produced *)
+  max_depth : int; (* deepest step count reached on any branch *)
+  wall_s : float; (* wall-clock seconds (the only jobs-dependent field) *)
+}
 
 type result = {
   histories : int; (* complete histories the property was checked on *)
   truncated : int; (* branches cut at [max_steps_per_history] (spin loops) *)
   complete : bool; (* false if a cap stopped or truncated the enumeration *)
   violation : Sim.t option; (* a history falsifying the property *)
+  stats : stats;
 }
 
-let check ?(max_histories = 1_000_000) ?(max_steps_per_history = 500) ~layout
-    ~model ~n ~scripts ~property () =
-  let sim0 = Sim.create ~model ~layout ~n in
-  (* Enabled moves: advance if mid-call, else begin whatever the script
-     asks for next.  A process whose script answers [None] is done. *)
-  let moves sim =
-    List.filter_map
-      (fun ((p : Op.pid), (script : script)) ->
+(* --- moves --- *)
+
+type move =
+  | M_advance of Op.invocation (* the process's pending operation *)
+  | M_begin of string * Op.value Program.t
+
+(* Enabled moves in script order: advance if mid-call, else begin whatever
+   the script asks for next.  A process whose script answers [None] is
+   done. *)
+let moves scripts sim =
+  List.filter_map
+    (fun ((p : Op.pid), (script : script)) ->
+      match Sim.proc_state sim p with
+      | Sim.Running _ -> (
+        match Sim.peek sim p with
+        | Some inv -> Some (p, M_advance inv)
+        | None -> assert false (* Running implies a pending operation *))
+      | Sim.Terminated -> None
+      | Sim.Idle -> (
+        match script sim p with
+        | None -> None
+        | Some (label, program) -> Some (p, M_begin (label, program))))
+    scripts
+
+(* --- fingerprinting --- *)
+
+(* Per-running-call metadata the fingerprint needs but the simulator does
+   not keep: the responses received so far inside the call (they determine
+   the continuation of a deterministic program) and the begun/completed
+   call counts of every scripted process at the call's start (they
+   determine how interval-order properties will judge the call once it
+   completes). *)
+type call_meta = {
+  resps_rev : Op.value list;
+  resps_len : int; (* [List.length resps_rev], maintained incrementally *)
+  resps_h : int; (* rolling hash of [resps_rev], maintained incrementally *)
+  snap : (Op.pid * int) list;
+      (* per-process completed-call counts at this call's start: they
+         decide which completions precede the call in the interval order.
+         Begun counts are deliberately absent — began-before-began is not
+         an interval-order relation, and omitting them lets states that
+         differ only in the order of concurrent call starts merge. *)
+}
+
+type proc_fp =
+  | F_terminated of int * Op.value option (* calls completed, last result *)
+  | F_idle of int * Op.value option (* calls begun, last result *)
+  | F_running of
+      string * int * int * int * Op.value list * (Op.pid * int) list
+      (* label, seq, resps length, resps hash, resps, snap — the scalar
+         summaries come first so equality fails fast on unequal states
+         before walking a (possibly long) spin-response list *)
+
+type fp = (Op.addr * Op.value * Op.pid list) list * proc_fp list
+
+(* The fingerprint is kept as a structural value, not serialized: building
+   it shares the live [resps_rev]/[snap] lists, and the visited table
+   resolves hash collisions with structural equality, so hashing may
+   safely examine only a bounded prefix of (possibly long) spin-response
+   lists. *)
+let fingerprint scripts_pids sim meta : fp =
+  let procs =
+    List.map
+      (fun p ->
         match Sim.proc_state sim p with
-        | Sim.Running _ -> Some (p, `Advance)
-        | Sim.Terminated -> None
-        | Sim.Idle -> (
-          match script sim p with
-          | None -> None
-          | Some (label, program) -> Some (p, `Begin (label, program))))
-      scripts
+        | Sim.Terminated ->
+          F_terminated (Sim.completed_count sim p, Sim.last_result sim p)
+        | Sim.Idle -> F_idle (Sim.call_count sim p, Sim.last_result sim p)
+        | Sim.Running r ->
+          let m = Pid_map.find p meta in
+          F_running (r.Sim.label, r.Sim.seq, m.resps_len, m.resps_h,
+                     m.resps_rev, m.snap))
+      scripts_pids
   in
-  let exception Stop of result in
-  let histories = ref 0 in
-  let truncated = ref 0 in
-  let current () =
-    { histories = !histories; truncated = !truncated; complete = false;
-      violation = None }
-  in
-  let finish sim =
-    (* A leaf: either no moves remain or the branch hit the step bound
-       (a spin loop).  Safety properties over recorded calls hold on
-       truncated prefixes too, so both are checked. *)
+  (Memory.fingerprint (Sim.memory sim), procs)
+
+(* Rolling-hash mixer for the incremental response hash and the table's
+   hash function below. *)
+let mix h x = (((h * 31) + x + 1) * 0x2545F491) land max_int
+
+(* The generic [Hashtbl.hash] is unusable here: its traversal is capped at
+   256 nodes, and deep in a spin loop every state shares the same 256-node
+   prefix (memory plus the newest responses), so all keys collide and
+   probes degrade to long structural comparisons.  Instead the scalar
+   summaries — including the incrementally maintained response-list hash —
+   are folded explicitly; structural equality still decides matches
+   exactly, so collisions cost time, never soundness. *)
+module Fp_tbl = Hashtbl.Make (struct
+  type t = fp
+
+  let equal : fp -> fp -> bool = ( = )
+
+  let hash ((mem, procs) : fp) =
+    let h =
+      List.fold_left
+        (fun h (a, v, links) ->
+          List.fold_left mix (mix (mix h a) v) links)
+        0x9E3779B9 mem
+    in
+    List.fold_left
+      (fun h pf ->
+        match pf with
+        | F_terminated (c, r) ->
+          mix (mix (mix h 3) c) (match r with None -> min_int | Some v -> v)
+        | F_idle (c, r) ->
+          mix (mix (mix h 5) c) (match r with None -> min_int | Some v -> v)
+        | F_running (label, seq, len, rh, _resps, snap) ->
+          let h = mix (mix (mix (mix (mix h 7) (Hashtbl.hash label)) seq) len) rh in
+          List.fold_left (fun h (p, c) -> mix (mix h p) c) h snap)
+      h procs
+end)
+
+(* Execute one move, maintaining the fingerprint metadata.  Returns the new
+   machine, the new metadata, and whether the move completed a call (the
+   only transitions on which the property verdict can change). *)
+let apply_move scripts_pids sim meta p = function
+  | M_begin (label, program) ->
+    let snap =
+      List.map (fun q -> (q, Sim.completed_count sim q)) scripts_pids
+    in
+    let sim' = Sim.begin_call sim p ~label program in
+    if Sim.is_running sim' p then
+      ( sim',
+        Pid_map.add p
+          { resps_rev = []; resps_len = 0; resps_h = 0; snap }
+          meta,
+        false )
+    else (sim', Pid_map.remove p meta, true) (* zero-step call completed *)
+  | M_advance _ ->
+    let sim' = Sim.advance sim p in
+    if Sim.is_running sim' p then
+      let resp =
+        match Sim.last_step sim' with
+        | Some s -> s.History.response
+        | None -> assert false
+      in
+      let m = Pid_map.find p meta in
+      ( sim',
+        Pid_map.add p
+          { m with
+            resps_rev = resp :: m.resps_rev;
+            resps_len = m.resps_len + 1;
+            resps_h = mix m.resps_h resp }
+          meta,
+        false )
+    else (sim', Pid_map.remove p meta, true)
+
+(* Sleep set for the child reached by executing [p]'s move [mv]: of the
+   processes asleep here or already explored as older siblings, keep those
+   whose pending move commutes with the executed one.
+
+   Two advances commute when their operations do ({!Op.commute}).  Two
+   begins commute as long as neither completes a zero-step call on the
+   spot: scripts consult only their own process's state, a begin touches
+   no memory, and swapping two call starts changes no interval-order
+   relation (began-before-began is not one) — whereas a completion is an
+   interval endpoint, so nothing commutes across a move that completed a
+   call ([completed], known only after applying the move).  By the same
+   reasoning a begin also commutes with a non-completing advance: the
+   advance's memory effect is invisible to the begin (no memory access,
+   script reads own state only) and no endpoint separates them. *)
+let instant (program : Op.value Program.t) = Program.next_invocation program = None
+
+let child_sleep ~por ~completed ms sleep explored mv =
+  if not por then Pid_set.empty
+  else
+    match mv with
+    | M_begin _ when completed -> Pid_set.empty (* a zero-step call: endpoint *)
+    | M_begin _ ->
+      Pid_set.filter
+        (fun q ->
+          match List.assoc_opt q ms with
+          | Some (M_begin (_, prog_q)) -> not (instant prog_q)
+          | Some (M_advance _) | None -> false)
+        (Pid_set.union sleep explored)
+    | M_advance inv_p ->
+      (* A completing advance is a finish endpoint: begins must be
+         reordered against it (begun-before-finished is observable), but
+         commuting advances still slide past — two adjacent non-begin
+         moves flank no call start, so no interval relation changes. *)
+      Pid_set.filter
+        (fun q ->
+          match List.assoc_opt q ms with
+          | Some (M_advance inv_q) -> Op.commute inv_p inv_q
+          | Some (M_begin (_, prog_q)) -> (not completed) && not (instant prog_q)
+          | None -> false)
+        (Pid_set.union sleep explored)
+
+(* --- subtree exploration --- *)
+
+type task = {
+  t_sim : Sim.t;
+  t_meta : call_meta Pid_map.t;
+  t_sleep : Pid_set.t;
+  t_depth : int;
+  t_completed : bool; (* the move into this node completed a call *)
+}
+
+type sub = {
+  s_histories : int;
+  s_truncated : int;
+  s_states : int;
+  s_dedup : int;
+  s_por : int;
+  s_maxd : int;
+  s_violation : Sim.t option;
+  s_capped : bool;
+}
+
+exception Stopped of Sim.t option (* [Some sim]: violation; [None]: cap hit *)
+
+(* Depth-first exploration of one subtree with a private visited table and
+   history budget.  Deterministic: depends only on the task, never on
+   sibling subtrees or scheduling. *)
+let explore_subtree ~dedup ~por ~property ~scripts ~scripts_pids
+    ~max_steps_per_history ~budget task =
+  let visited : Pid_set.t list ref Fp_tbl.t = Fp_tbl.create 1024 in
+  let histories = ref 0 and truncated = ref 0 and states = ref 0 in
+  let dedup_hits = ref 0 and por_prunes = ref 0 and maxd = ref 0 in
+  let leaf ~checked sim =
     incr histories;
-    if not (property sim) then
-      raise (Stop { (current ()) with violation = Some sim });
-    if !histories >= max_histories then raise (Stop (current ()))
+    if (not checked) && not (property sim) then raise (Stopped (Some sim));
+    if !histories >= budget then raise (Stopped None)
   in
-  let rec go sim depth =
+  let rec visit sim meta sleep depth ~completed =
+    incr states;
+    if depth > !maxd then maxd := depth;
+    (* The verdict can change only when a call completes; checking there
+       (rather than at leaves alone) is what makes pruning sound: every
+       prefix is judged before its extensions are shared or discarded. *)
+    let checked =
+      completed
+      && (if property sim then true else raise (Stopped (Some sim)))
+    in
     if depth >= max_steps_per_history then begin
       incr truncated;
-      finish sim
+      leaf ~checked sim
     end
     else
-      match moves sim with
-      | [] -> finish sim
-      | ms ->
-        List.iter
-          (fun (p, m) ->
-            match m with
-            | `Advance -> go (Sim.advance sim p) (depth + 1)
-            | `Begin (label, program) ->
-              go (Sim.begin_call sim p ~label program) (depth + 1))
-          ms
+      match moves scripts sim with
+      | [] -> leaf ~checked sim
+      | ms -> (
+        let descend awake =
+          ignore
+            (List.fold_left
+               (fun explored (p, mv) ->
+                 let sim', meta', completed =
+                   apply_move scripts_pids sim meta p mv
+                 in
+                 let sleep' = child_sleep ~por ~completed ms sleep explored mv in
+                 visit sim' meta' sleep' (depth + 1) ~completed;
+                 Pid_set.add p explored)
+               Pid_set.empty awake)
+        in
+        match List.filter (fun (p, _) -> not (Pid_set.mem p sleep)) ms with
+        | [] ->
+          (* Every enabled move is asleep: each is independent of some
+             already-explored sibling order, so this branch is covered by
+             a representative elsewhere; not a leaf. *)
+          incr por_prunes
+        | awake ->
+          let fresh =
+            (not dedup)
+            ||
+            let key = fingerprint scripts_pids sim meta in
+            let entries =
+              match Fp_tbl.find_opt visited key with
+              | Some r -> r
+              | None ->
+                let r = ref [] in
+                Fp_tbl.add visited key r;
+                r
+            in
+            (* Prune iff a prior visit had a sleep set no larger (so no
+               fewer awake moves).  The remaining depth budget is
+               deliberately not compared: a revisit may arrive shallower
+               (a completed call got there in fewer spin iterations) and
+               so see a slightly deeper horizon, but comparing budgets
+               re-explores every spin state once per distinct arrival
+               depth — the dominant cost on spin-heavy searches.  When no
+               branch truncates the budget never binds and pruning is
+               exact; when one does, the run is already reported
+               incomplete. *)
+            if List.exists (fun sl -> Pid_set.subset sl sleep) !entries then begin
+              incr dedup_hits;
+              false
+            end
+            else begin
+              entries :=
+                sleep
+                :: List.filter (fun sl -> not (Pid_set.subset sleep sl)) !entries;
+              true
+            end
+          in
+          if fresh then descend awake)
   in
-  match go sim0 0 with
-  | () ->
-    { histories = !histories; truncated = !truncated;
-      complete = !truncated = 0; violation = None }
-  | exception Stop r -> r
+  let violation, capped =
+    if budget <= 0 then (None, true)
+    else
+      match
+        visit task.t_sim task.t_meta task.t_sleep task.t_depth
+          ~completed:task.t_completed
+      with
+      | () -> (None, false)
+      | exception Stopped v -> (v, v = None)
+  in
+  { s_histories = !histories;
+    s_truncated = !truncated;
+    s_states = !states;
+    s_dedup = !dedup_hits;
+    s_por = !por_prunes;
+    s_maxd = !maxd;
+    s_violation = violation;
+    s_capped = capped }
 
-(* Count interleavings without checking anything (sizing aid). *)
+(* Expand the first [split_depth] levels sequentially (POR-aware, property
+   checked, leaves and truncations accounted) and collect the depth-
+   [split_depth] nodes as independent tasks, in DFS order.  The expansion
+   never dedups — frontier nodes must all be produced so that the task
+   list, and hence the merged verdict, is a pure function of the input. *)
+let expand ~por ~property ~scripts ~scripts_pids ~max_steps_per_history
+    ~max_histories ~split_depth sim0 =
+  let tasks = ref [] in
+  let histories = ref 0 and truncated = ref 0 and states = ref 0 in
+  let maxd = ref 0 in
+  let leaf ~checked sim =
+    incr histories;
+    if (not checked) && not (property sim) then raise (Stopped (Some sim));
+    if !histories >= max_histories then raise (Stopped None)
+  in
+  let rec visit sim meta sleep depth ~completed =
+    if depth >= split_depth && moves scripts sim <> []
+       && depth < max_steps_per_history
+    then
+      tasks :=
+        { t_sim = sim;
+          t_meta = meta;
+          t_sleep = sleep;
+          t_depth = depth;
+          t_completed = completed }
+        :: !tasks
+    else begin
+      incr states;
+      if depth > !maxd then maxd := depth;
+      let checked =
+        completed
+        && (if property sim then true else raise (Stopped (Some sim)))
+      in
+      if depth >= max_steps_per_history then begin
+        incr truncated;
+        leaf ~checked sim
+      end
+      else
+        match moves scripts sim with
+        | [] -> leaf ~checked sim
+        | ms ->
+          ignore
+            (List.fold_left
+               (fun explored (p, mv) ->
+                 if Pid_set.mem p sleep then explored
+                 else begin
+                   let sim', meta', completed =
+                     apply_move scripts_pids sim meta p mv
+                   in
+                   let sleep' = child_sleep ~por ~completed ms sleep explored mv in
+                   visit sim' meta' sleep' (depth + 1) ~completed;
+                   Pid_set.add p explored
+                 end)
+               Pid_set.empty ms)
+    end
+  in
+  let stopped =
+    match visit sim0 Pid_map.empty Pid_set.empty 0 ~completed:false with
+    | () -> None
+    | exception Stopped v -> Some v
+  in
+  (List.rev !tasks, !histories, !truncated, !states, !maxd, stopped)
+
+let default_split_depth = 2
+
+let check ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
+    ?(dedup = true) ?(por = true) ?(jobs = 1)
+    ?(split_depth = default_split_depth) ~layout ~model ~n ~scripts ~property
+    () =
+  let t0 = Sys.time () in
+  let sim0 = Sim.create ~model ~layout ~n in
+  let scripts_pids = List.map fst scripts in
+  let split_depth = max 0 split_depth in
+  let tasks, pre_h, pre_t, pre_states, pre_maxd, stopped =
+    expand ~por ~property ~scripts ~scripts_pids ~max_steps_per_history
+      ~max_histories ~split_depth sim0
+  in
+  let finish ~histories ~truncated ~states ~dedup_hits ~por_prunes ~tasks:k
+      ~max_depth ~violation ~capped =
+    { histories;
+      truncated;
+      complete = violation = None && (not capped) && truncated = 0;
+      violation;
+      stats =
+        { states;
+          dedup_hits;
+          por_prunes;
+          tasks = k;
+          max_depth;
+          wall_s = Sys.time () -. t0 } }
+  in
+  match stopped with
+  | Some v ->
+    (* The expansion itself found a violation or hit the cap; subtree tasks
+       are skipped, deterministically. *)
+    finish ~histories:pre_h ~truncated:pre_t ~states:pre_states ~dedup_hits:0
+      ~por_prunes:0 ~tasks:0 ~max_depth:pre_maxd ~violation:v ~capped:(v = None)
+  | None ->
+    let k = List.length tasks in
+    (* Fixed deterministic budget split: task [i] may count at most
+       [budget i] further histories, independent of job count and of the
+       other tasks' actual sizes. *)
+    let remaining_cap = max_histories - pre_h in
+    let budget i =
+      if k = 0 then 0
+      else (remaining_cap / k) + if i < remaining_cap mod k then 1 else 0
+    in
+    let subs =
+      Parallel.map ~jobs
+        (fun (i, task) ->
+          explore_subtree ~dedup ~por ~property ~scripts ~scripts_pids
+            ~max_steps_per_history ~budget:(budget i) task)
+        (List.mapi (fun i t -> (i, t)) tasks)
+    in
+    let violation =
+      List.find_map (fun s -> s.s_violation) subs (* first in task order *)
+    in
+    let sum f = List.fold_left (fun acc s -> acc + f s) 0 subs in
+    finish
+      ~histories:(pre_h + sum (fun s -> s.s_histories))
+      ~truncated:(pre_t + sum (fun s -> s.s_truncated))
+      ~states:(pre_states + sum (fun s -> s.s_states))
+      ~dedup_hits:(sum (fun s -> s.s_dedup))
+      ~por_prunes:(sum (fun s -> s.s_por))
+      ~tasks:k
+      ~max_depth:(List.fold_left (fun acc s -> max acc s.s_maxd) pre_maxd subs)
+      ~violation
+      ~capped:(List.exists (fun s -> s.s_capped) subs)
+
+(* Count interleavings without checking anything (sizing aid).  Dedup and
+   POR are off so the count is the literal number of step-level
+   interleavings, as in the seed checker. *)
 let count ?max_histories ?max_steps_per_history ~layout ~model ~n ~scripts () =
-  (check ?max_histories ?max_steps_per_history ~layout ~model ~n ~scripts
+  (check ?max_histories ?max_steps_per_history ~dedup:false ~por:false ~layout
+     ~model ~n ~scripts
      ~property:(fun _ -> true) ())
     .histories

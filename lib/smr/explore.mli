@@ -1,9 +1,23 @@
 (** Exhaustive interleaving exploration — a small-scope model checker.
 
-    Enumerates every step-level interleaving of the given per-process call
+    Enumerates the step-level interleavings of the given per-process call
     scripts (the machine's persistent state makes branching free) and
-    checks a property on each complete history.  Use for small
-    configurations; [max_histories] bounds the search. *)
+    checks a property on each complete history.  Three reductions make
+    exhaustive checking scale well past the naive DFS: canonical
+    state-fingerprint deduplication, sleep-set partial-order reduction
+    over {!Op.commute}, and a deterministic frontier split across OCaml 5
+    domains.  Verdicts and statistics (wall time aside) are byte-identical
+    for every [jobs] value.
+
+    {b Soundness contract.}  With [dedup]/[por] on (the default), the
+    property must be a function of the recorded calls' results and of
+    their interval order (which call began/completed before which) — as
+    Specification 4.1 and the GME occupancy predicate are — not of raw
+    timestamps, step lists or RMR counts; and scripts must decide their
+    next call from the script-visible state only (own call count, own
+    last result), as {!of_list} and {!repeat} do.  Pass [~dedup:false
+    ~por:false] to recover the seed checker's literal
+    one-leaf-per-interleaving semantics for arbitrary properties. *)
 
 type script = Sim.t -> Op.pid -> (string * Op.value Program.t) option
 (** What a process does when idle: the next call, or [None] when done.
@@ -19,6 +33,20 @@ val repeat :
     have completed) — e.g. "Poll() until it returns true", the history
     restriction of Section 4. *)
 
+type stats = {
+  states : int;
+      (** search nodes visited, pruned nodes included — the headline
+          scalability number to compare against a [~dedup:false
+          ~por:false] run *)
+  dedup_hits : int;  (** nodes pruned as equivalent to an explored state *)
+  por_prunes : int;  (** nodes whose every enabled move was asleep *)
+  tasks : int;  (** independent subtree tasks the frontier split produced *)
+  max_depth : int;  (** deepest step count reached on any branch *)
+  wall_s : float;
+      (** elapsed seconds; the only field that varies with [jobs] — keep
+          it out of any byte-comparison *)
+}
+
 type result = {
   histories : int;  (** histories (leaves) the property was checked on *)
   truncated : int;
@@ -26,11 +54,16 @@ type result = {
           branches infinite; truncated prefixes are still property-checked *)
   complete : bool;  (** whether every interleaving was fully enumerated *)
   violation : Sim.t option;  (** a history falsifying the property *)
+  stats : stats;
 }
 
 val check :
   ?max_histories:int ->
   ?max_steps_per_history:int ->
+  ?dedup:bool ->
+  ?por:bool ->
+  ?jobs:int ->
+  ?split_depth:int ->
   layout:Var.layout ->
   model:Cost_model.t ->
   n:int ->
@@ -38,8 +71,19 @@ val check :
   property:(Sim.t -> bool) ->
   unit ->
   result
-(** Checking the property only on complete histories is sufficient for
-    safety properties over recorded calls (violations persist). *)
+(** The property is evaluated whenever a call completes and at every leaf;
+    checking it on prefixes is sufficient for safety properties over
+    recorded calls (violations persist) and is what makes pruning sound.
+
+    [max_histories] is a deterministic budget: after the first
+    [split_depth] (default 2) levels are expanded into subtree tasks, the
+    remaining budget is split evenly across tasks, so the reported counts
+    are independent of [jobs] — at the cost that a capped run may stop
+    slightly under the nominal bound when subtrees are uneven.
+
+    [jobs] (default 1) fans the subtree tasks out across domains via
+    {!Parallel.map}; every field of the result except [stats.wall_s] is
+    byte-identical for every value. *)
 
 val count :
   ?max_histories:int ->
@@ -50,4 +94,5 @@ val count :
   scripts:(Op.pid * script) list ->
   unit ->
   int
-(** Number of interleavings, up to the cap. *)
+(** Number of step-level interleavings, up to the cap; runs with both
+    reductions off so the count is literal. *)

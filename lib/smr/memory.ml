@@ -85,3 +85,18 @@ let dump t =
     (fun a c acc -> (a, c.value) :: acc)
     t.cells []
   |> List.rev
+
+(* Canonical behavioral fingerprint: the facts future operations can
+   observe — cell values and valid load-links.  Cells indistinguishable
+   from a fresh cell are omitted, so a store written back to its initial
+   value fingerprints identically to one never touched.  Last-writer and
+   writer-set bookkeeping is deliberately excluded: it feeds the Section 6
+   analyses, not operation responses. *)
+let fingerprint t =
+  Addr_map.fold
+    (fun a c acc ->
+      let links = Pid_set.elements c.links in
+      if links = [] && c.value = Var.layout_init t.layout a then acc
+      else (a, c.value, links) :: acc)
+    t.cells []
+  |> List.rev

@@ -40,3 +40,11 @@ val layout : t -> Var.layout
 
 val dump : t -> (Op.addr * Op.value) list
 (** Cells that have been touched, with their current values (debugging). *)
+
+val fingerprint : t -> (Op.addr * Op.value * Op.pid list) list
+(** Canonical summary of everything future operations can observe: each
+    cell's value plus the processes holding a valid load-link on it, in
+    address order, with cells indistinguishable from their initial state
+    omitted.  Two memories with equal fingerprints respond identically to
+    every subsequent operation sequence; {!Smr.Explore} keys its visited-
+    state table on this. *)

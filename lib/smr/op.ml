@@ -46,6 +46,18 @@ let is_read_only = function
   | Read _ | Ll _ -> true
   | Write _ | Cas _ | Sc _ | Faa _ | Fas _ | Tas _ -> false
 
+(* Static independence of two invocations by different processes: they
+   commute — either order yields the same memory state and the same
+   responses — when they touch different cells, or when both are read-only
+   (two reads, two load-links, or one of each; LL link-records are
+   per-process set-inserts and so commute too).  Conservative: a failed CAS
+   is observationally read-only, but its outcome is not known statically,
+   so comparison primitives on a shared cell are treated as dependent.
+   This is the independence relation behind Explore's partial-order
+   reduction. *)
+let commute a b =
+  addr_of a <> addr_of b || (is_read_only a && is_read_only b)
+
 (* Comparison primitives in the sense of [3]: they overwrite only when a
    condition on the current value holds.  Used by the LFCU cache model, where
    a failed comparison on a cached copy is local. *)

@@ -39,6 +39,13 @@ val addr_of : invocation -> addr
 val is_read_only : invocation -> bool
 (** [true] iff the operation can never overwrite the cell ([Read], [Ll]). *)
 
+val commute : invocation -> invocation -> bool
+(** Static independence for partial-order reduction: [commute a b] holds
+    when executing [a] and [b] (by different processes) in either order
+    yields the same memory state and the same two responses — they target
+    different cells, or are both read-only.  Conservative on comparison
+    primitives, whose triviality depends on the outcome. *)
+
 val is_comparison : invocation -> bool
 (** [true] for comparison primitives ([Cas], [Sc]) in the sense of Anderson et
     al.; these are the primitives for which the LFCU cache model treats a

@@ -46,6 +46,7 @@ type t = {
   rmr_by_pid : int Pid_map.t;
   steps_by_pid : int Pid_map.t;
   seq_by_pid : int Pid_map.t; (* next call ordinal per process *)
+  done_by_pid : int Pid_map.t; (* calls completed (crashed excluded) per process *)
 }
 
 exception Replay_divergence of { pid : Op.pid; time : int; detail : string }
@@ -64,7 +65,8 @@ let create ~model ~layout ~n =
     participated = Pid_set.empty;
     rmr_by_pid = Pid_map.empty;
     steps_by_pid = Pid_map.empty;
-    seq_by_pid = Pid_map.empty }
+    seq_by_pid = Pid_map.empty;
+    done_by_pid = Pid_map.empty }
 
 let n t = t.n
 let layout t = t.layout
@@ -140,7 +142,8 @@ let complete_call t p (r : run) result =
   in
   { t with
     procs = Pid_map.add p Idle t.procs;
-    calls_rev = call :: t.calls_rev }
+    calls_rev = call :: t.calls_rev;
+    done_by_pid = Pid_map.add p (find_count t.done_by_pid p + 1) t.done_by_pid }
 
 (* Internal: perform a begin without recording a trace event (replay uses
    this too, via the shared implementation with [record] = false). *)
@@ -291,10 +294,20 @@ let total_messages t = History.total_messages t.steps_rev
 
 let step_count t p = find_count t.steps_by_pid p
 
+let call_count t p = find_count t.seq_by_pid p
+
+let completed_count t p = find_count t.done_by_pid p
+
+let last_step t = match t.steps_rev with [] -> None | s :: _ -> Some s
+
+(* The outcome of the process's most recent call, pending calls excluded.
+   [calls_rev] is newest-first, so the first call of [p] is its latest; a
+   crashed latest call has no result and must yield [None] rather than the
+   result of some earlier completed call. *)
 let last_result t p =
-  List.find_map
-    (fun (c : History.call) -> if c.c_pid = p then c.History.c_result else None)
-    t.calls_rev
+  match List.find_opt (fun (c : History.call) -> c.History.c_pid = p) t.calls_rev with
+  | Some c -> c.History.c_result
+  | None -> None
 
 let calls_of t p =
   List.rev

@@ -96,8 +96,22 @@ val total_messages : t -> int
 
 val step_count : t -> Op.pid -> int
 
+val call_count : t -> Op.pid -> int
+(** Number of calls the process has {e begun} (completed, crashed and
+    pending alike).  O(log n), unlike [List.length (calls_of t p)], which
+    walks the whole recorded history. *)
+
+val completed_count : t -> Op.pid -> int
+(** Number of calls the process has completed; crashed calls never count. *)
+
+val last_step : t -> History.step option
+(** The most recently executed step, if any.  O(1). *)
+
 val last_result : t -> Op.pid -> Op.value option
-(** Result of the process's most recently completed call. *)
+(** Outcome of the process's most recent completed-or-crashed call: the
+    result if it completed, [None] if it crashed (or if the process never
+    finished a call).  An earlier completed call never shines through a
+    later crashed one. *)
 
 (** {1 Replay and erasure (Lemma 6.7)} *)
 

@@ -30,6 +30,26 @@ let test_crash_lifecycle () =
     (Invalid_argument "Sim.begin_call: process terminated") (fun () ->
       ignore (Sim.begin_call sim 0 ~label:"g" (Program.return 0)))
 
+let test_last_result_after_crash () =
+  (* Regression: [last_result] used to return the most recent call's
+     result slot even when that call crashed mid-flight, surfacing the
+     *previous* call's answer as if it were current.  A crashed latest
+     call must yield [None]. *)
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 7 in
+  let layout = Var.Ctx.freeze ctx in
+  let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n:1 in
+  let sim, r = Sim.run_call sim 0 ~label:"first" (Program.step (Op.Read (Var.addr x))) in
+  check_int "first call completed" 7 r;
+  check_true "completed call's result visible" (Sim.last_result sim 0 = Some 7);
+  let sim =
+    Sim.begin_call sim 0 ~label:"second" (Program.step (Op.Read (Var.addr x)))
+  in
+  let sim = Sim.crash sim 0 in
+  check_true "crashed latest call yields None, not the prior result"
+    (Sim.last_result sim 0 = None);
+  check_int "both calls recorded" 2 (List.length (Sim.calls_of sim 0))
+
 let test_crash_idle_process () =
   let ctx = Var.Ctx.create () in
   let layout = Var.Ctx.freeze ctx in
@@ -175,6 +195,7 @@ let test_crash_in_critical_section_blocks_lock () =
 
 let suite =
   [ case "crash lifecycle" test_crash_lifecycle;
+    case "last_result ignores a crashed latest call" test_last_result_after_crash;
     case "crash in critical section wedges the lock"
       test_crash_in_critical_section_blocks_lock;
     case "crash while idle" test_crash_idle_process;

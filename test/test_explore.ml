@@ -161,11 +161,116 @@ let test_multi_signaler_exhaustive () =
           ~until:(fun r -> r = 1)
           (Signaling.poll_label, inst.Signaling.i_poll 2) ) ]
   in
+  (* Bounded search: the remote spin makes the space unbounded, so the cap
+     governs runtime.  10k deduplicated/reduced histories cover tens of
+     thousands of distinct states — comparable behavioral coverage to the
+     400k raw interleavings the naive checker's budget used to buy, at a
+     fraction of the time. *)
   let r =
-    Explore.check ~max_histories:400_000 ~layout
+    Explore.check ~max_histories:10_000 ~layout
       ~model:(Cost_model.dsm layout) ~n:3 ~scripts ~property:spec_ok ()
   in
   check_no_violation "multi-signaler" r
+
+(* --- reduction effectiveness, scale, and parallel determinism --- *)
+
+let test_reduction_ratio () =
+  (* The reference configuration of the rewrite: dedup + POR must visit at
+     least 10x fewer states than the naive enumeration while returning the
+     same verdict.  [split_depth:0] keeps both searches monolithic so the
+     state counts are directly comparable (no per-task private tables). *)
+  let layout, scripts =
+    scripts_for (module Cc_flag) ~n:3 ~waiters:[ 1; 2 ] ~polls:2
+  in
+  let run ~dedup ~por =
+    Explore.check ~dedup ~por ~split_depth:0 ~layout
+      ~model:(Cost_model.dsm layout) ~n:3 ~scripts ~property:spec_ok ()
+  in
+  let reduced = run ~dedup:true ~por:true in
+  let naive = run ~dedup:false ~por:false in
+  check_no_violation "reduced" reduced;
+  check_no_violation "naive" naive;
+  check_true "reduced complete" reduced.Explore.complete;
+  check_true "naive complete" naive.Explore.complete;
+  check_true
+    (Printf.sprintf "at least 10x fewer states (%d vs %d)"
+       reduced.Explore.stats.Explore.states naive.Explore.stats.Explore.states)
+    (naive.Explore.stats.Explore.states
+    >= 10 * reduced.Explore.stats.Explore.states)
+
+let test_previously_infeasible_scope () =
+  (* Three waiters x two polls was far beyond the naive checker's budget
+     (hundreds of millions of interleavings); with the reductions the space
+     collapses to a few thousand histories and enumerates exhaustively. *)
+  let r = explore (module Cc_flag) ~n:4 ~waiters:[ 1; 2; 3 ] ~polls:2 in
+  check_no_violation "cc-flag (3 waiters)" r;
+  check_true "fully enumerated" r.Explore.complete
+
+(* Everything jobs-invariant in a result: all counters plus the violation's
+   recorded calls; only [stats.wall_s] may differ between runs. *)
+let comparable (r : Explore.result) =
+  ( r.Explore.histories,
+    r.Explore.truncated,
+    r.Explore.complete,
+    Option.map Sim.calls r.Explore.violation,
+    r.Explore.stats.Explore.states,
+    r.Explore.stats.Explore.dedup_hits,
+    r.Explore.stats.Explore.por_prunes,
+    r.Explore.stats.Explore.tasks,
+    r.Explore.stats.Explore.max_depth )
+
+let test_jobs_deterministic () =
+  let layout, scripts =
+    scripts_for (module Cc_flag) ~n:4 ~waiters:[ 1; 2; 3 ] ~polls:2
+  in
+  let run jobs =
+    Explore.check ~jobs ~layout ~model:(Cost_model.dsm layout) ~n:4 ~scripts
+      ~property:spec_ok ()
+  in
+  let r1 = run 1 and r4 = run 4 in
+  check_true "jobs=1 and jobs=4 agree on every field but wall time"
+    (comparable r1 = comparable r4)
+
+(* A deliberately broken algorithm: Signal() writes a decoy variable and
+   never touches the flag Poll() reads, so every Poll() after a completed
+   Signal() still returns false — the second clause of Specification 4.1.
+   The checker must find this mutation, and must report the same violating
+   history at every parallelism level. *)
+module Broken_cc_flag = struct
+  let name = "broken-cc-flag"
+  let description = "mutation: Signal writes the wrong variable"
+  let primitives = [ Op.Reads_writes ]
+  let flexibility = Signaling.any_flexibility
+
+  type t = { flag : bool Var.t; decoy : bool Var.t }
+
+  let create ctx _cfg =
+    { flag = Var.Ctx.bool ctx ~name:"B" ~home:Var.Shared false;
+      decoy = Var.Ctx.bool ctx ~name:"decoy" ~home:Var.Shared false }
+
+  let signal t _p = Program.write t.decoy true
+  let poll t _p = Program.read t.flag
+end
+
+let test_mutation_caught () =
+  let layout, scripts =
+    scripts_for (module Broken_cc_flag) ~n:3 ~waiters:[ 1; 2 ] ~polls:2
+  in
+  let run jobs =
+    Explore.check ~jobs ~layout ~model:(Cost_model.dsm layout) ~n:3 ~scripts
+      ~property:spec_ok ()
+  in
+  let violating_calls jobs =
+    match (run jobs).Explore.violation with
+    | None -> Alcotest.failf "jobs=%d: mutation not caught" jobs
+    | Some sim -> Sim.calls sim
+  in
+  let c1 = violating_calls 1 in
+  check_true "violating history non-empty" (c1 <> []);
+  check_true "jobs=2 reports the same violating history"
+    (violating_calls 2 = c1);
+  check_true "jobs=4 reports the same violating history"
+    (violating_calls 4 = c1)
 
 let suite =
   [ case "interleaving count" test_count_basics;
@@ -180,4 +285,9 @@ let suite =
     case "cas-register: explored interleavings safe" test_cas_register_exhaustive;
     case "llsc-register: explored interleavings safe" test_llsc_register_exhaustive;
     case "dsm-fixed: all interleavings safe" test_fixed_waiters_exhaustive;
-    case "multi-signaler: explored interleavings safe" test_multi_signaler_exhaustive ]
+    case "multi-signaler: explored interleavings safe" test_multi_signaler_exhaustive;
+    case "dedup+por: >=10x fewer states than naive" test_reduction_ratio;
+    case "3 waiters x 2 polls enumerates exhaustively"
+      test_previously_infeasible_scope;
+    case "verdict identical across jobs" test_jobs_deterministic;
+    case "mutation caught identically at every jobs" test_mutation_caught ]

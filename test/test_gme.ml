@@ -218,8 +218,11 @@ let test_gme_exhaustive_small () =
         ( Sync.Gme_intf.exit_label,
           Program.map (fun () -> 0) (Sync.Gme_session_lock.exit g p) ) ]
   in
+  (* Bounded search: the lock spin's response sequences make the reduced
+     space unbounded too, so the cap governs runtime; 2k reduced histories
+     visit tens of thousands of distinct states. *)
   let r =
-    Explore.check ~max_histories:300_000 ~layout
+    Explore.check ~max_histories:2_000 ~layout
       ~model:(Cost_model.dsm layout) ~n:2
       ~scripts:[ (0, script 0); (1, script 1) ]
       ~property:(fun sim -> Sync.Gme_intf.is_safe (Sim.calls sim))

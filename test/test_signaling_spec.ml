@@ -105,6 +105,38 @@ let test_validate_config () =
     | Error _ -> true
     | Ok () -> false)
 
+let test_validate_config_pids () =
+  let flex = Signaling.any_flexibility in
+  let expect_error name cfg fragment =
+    match Signaling.validate_config flex cfg with
+    | Ok () -> Alcotest.failf "%s: expected rejection" name
+    | Error msg ->
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec at i = i + ln <= lh && (String.sub hay i ln = needle || at (i + 1)) in
+        at 0
+      in
+      check_true
+        (Printf.sprintf "%s: %S mentions %S" name msg fragment)
+        (contains msg fragment)
+  in
+  expect_error "waiter pid ≥ n"
+    (Signaling.config ~n:3 ~waiters:[ 1; 3 ] ~signalers:[ 0 ])
+    "waiter pid 3 out of range";
+  expect_error "negative signaler pid"
+    (Signaling.config ~n:3 ~waiters:[ 1 ] ~signalers:[ -1 ])
+    "signaler pid -1 out of range";
+  expect_error "duplicate waiter"
+    (Signaling.config ~n:4 ~waiters:[ 1; 2; 1 ] ~signalers:[ 0 ])
+    "waiter pid 1 listed more than once";
+  expect_error "duplicate signaler"
+    (Signaling.config ~n:4 ~waiters:[ 2 ] ~signalers:[ 0; 0 ])
+    "signaler pid 0 listed more than once";
+  check_true "waiter also a signaler is fine"
+    (Signaling.validate_config flex
+       (Signaling.config ~n:4 ~waiters:[ 1 ] ~signalers:[ 1 ])
+    = Ok ())
+
 let test_instantiate_rejects_bad_config () =
   let ctx = Smr.Var.Ctx.create () in
   let cfg = Signaling.config ~n:4 ~waiters:[ 1; 2 ] ~signalers:[ 0 ] in
@@ -122,4 +154,5 @@ let suite =
     case "pending polls not judged" test_unfinished_poll_ignored;
     case "blocking checker" test_blocking_checker;
     case "config validation" test_validate_config;
+    case "config validation rejects bad pids" test_validate_config_pids;
     case "instantiate validates config" test_instantiate_rejects_bad_config ]
