@@ -379,6 +379,91 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Alias of $(b,tables).")
     tables_term
 
+(* `lint` statically verifies every registered algorithm's declared claims
+   (primitive class, spin locality, DSM RMR bound, write ownership) over
+   its extracted control-flow graph, plus the Op.commute differential
+   check behind Explore's POR.  Nonzero exit on any violation, so CI can
+   gate on it. *)
+let lint_cmd =
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ALGORITHM"
+          ~doc:
+            "Algorithm entries to lint (as listed in the report); all \
+             non-mutant entries when omitted.  Unknown names are an error.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the stable JSON tables on stdout.")
+  in
+  let mutants =
+    Arg.(
+      value & flag
+      & info [ "mutants" ]
+          ~doc:
+            "Include the seeded-violation fixtures (expected to fail; used \
+             by CI to prove the linter can fail).")
+  in
+  let fuel =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fuel" ] ~docv:"NODES"
+          ~doc:"Override the extractor's CFG node budget per call.")
+  in
+  let lint_n =
+    Arg.(
+      value & opt int 4
+      & info [ "n" ] ~docv:"N"
+          ~doc:
+            "Process count for the signaling entries (locks use their own \
+             small fixed counts).  Response domains grow with $(docv), so \
+             keep it small.")
+  in
+  let run n json mutants fuel names =
+    let names = match names with [] -> None | l -> Some l in
+    let reports =
+      try Core.Lint_catalog.run ~n ~mutants ?fuel ?names ()
+      with Invalid_argument msg ->
+        Fmt.epr "separation: %s@." msg;
+        exit 2
+    in
+    let commute = Analysis.Commute_check.run () in
+    let tables =
+      [ Core.Lint_catalog.lint_table reports;
+        Core.Lint_catalog.commute_table commute ]
+    in
+    if json then print_string (Core.Results.to_json_many tables)
+    else
+      List.iter
+        (fun t ->
+          Core.Report.print (Core.Results.to_report t);
+          print_newline ())
+        tables;
+    List.iter
+      (fun (r : Analysis.Lint.report) ->
+        List.iter
+          (fun v ->
+            Fmt.epr "lint: %s: %s@."
+              r.Analysis.Lint.entry.Analysis.Registry.name v)
+          (Analysis.Lint.violations r))
+      reports;
+    List.iter
+      (fun c ->
+        Fmt.epr "lint: commute: %a@." Analysis.Commute_check.pp_counterexample c)
+      commute.Analysis.Commute_check.failures;
+    if not (Core.Lint_catalog.all_ok reports commute) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically verify each algorithm's declared claims (primitive \
+          class, local-spin, DSM RMR bound, write ownership) over its \
+          extracted control-flow graph, and differentially check the POR \
+          independence relation.  Exits nonzero on any violation.")
+    Term.(const run $ lint_n $ json $ mutants $ fuel $ names)
+
 let list_cmd =
   let run () =
     Fmt.pr "Experiments:@.";
@@ -416,4 +501,4 @@ let () =
        (Cmd.group
           (Cmd.info "separation" ~version:"1.0.0" ~doc)
           [ run_cmd; adversary_cmd; explore_cmd; tables_cmd; experiments_cmd;
-            list_cmd ]))
+            lint_cmd; list_cmd ]))

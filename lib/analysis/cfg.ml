@@ -1,0 +1,143 @@
+open Smr
+
+type target =
+  | Jump of int
+  | Back of int
+  | Done
+  | Stuck of string
+  | Cut
+
+type edge = { response : Op.value; target : target }
+
+type node = { inv : Op.invocation; mutable edges : edge list }
+
+type cycle = { entry : int; body : Op.invocation list }
+
+type t = {
+  pid : Op.pid;
+  entry : target;
+  nodes : node array;
+  cycles : cycle list;
+  complete : bool;
+  stuck : int;
+}
+
+module Addr_map = Map.Make (Int)
+
+(* Abstract one step.  [store] maps exclusively-owned cells to the value we
+   know they hold (from a write we made, or a response we already observed —
+   both stable until our own next write, since nobody else writes the cell).
+   Returns every (response, store') the operation can produce. *)
+let step_semantics ~exclusive ~values store inv =
+  let a = Op.addr_of inv in
+  let excl = exclusive a in
+  let record v store = if excl then Addr_map.add a v store else store in
+  let known = if excl then Addr_map.find_opt a store else None in
+  match known with
+  | Some current -> (
+    match inv with
+    | Op.Sc (_, v) ->
+      (* The link state is not tracked, so SC branches even on owned cells. *)
+      [ (0, store); (1, record v store) ]
+    | _ ->
+      let e = Op.execute ~current ~ll_valid:false inv in
+      let store' =
+        match e.Op.new_value with Some v -> record v store | None -> store
+      in
+      [ (e.Op.response, store') ])
+  | None -> (
+    match inv with
+    | Op.Write (_, v) -> [ (0, record v store) ]
+    | Op.Cas (_, _, u) ->
+      (* Success pins the cell at [u]; failure tells us only what the cell
+         is not, which the store cannot represent. *)
+      [ (0, store); (1, record u store) ]
+    | Op.Sc (_, v) -> [ (0, store); (1, record v store) ]
+    | Op.Tas _ ->
+      (* Either way the cell is 1 afterwards; the response branches. *)
+      [ (0, record 1 store); (1, record 1 store) ]
+    | Op.Read _ | Op.Ll _ ->
+      (* Observing an owned cell pins it until our next write. *)
+      List.map (fun v -> (v, record v store)) values
+    | Op.Faa (_, d) -> List.map (fun v -> (v, record (v + d) store)) values
+    | Op.Fas (_, v) -> List.map (fun r -> (r, record v store)) values)
+
+let extract ?(fuel = 300_000) ?(unroll = 2) ?(values = [ -1; 0; 1 ])
+    ~exclusive ~pid program =
+  let nodes_rev = ref [] in
+  let n_nodes = ref 0 in
+  let cycles = ref [] in
+  let stuck = ref 0 in
+  let cut = ref false in
+  (* [path] is the DFS stack of (invocation, node id), most recent first. *)
+  let rec go path store prog =
+    match prog with
+    | Program.Return _ -> Done
+    | Program.Step (inv, k) ->
+      (match path with
+       | (prev, prev_id) :: _ when prev = inv ->
+         (* Consecutive repetition of one invocation is how [Program.await]
+            retries: fold it into a self-loop immediately, independent of
+            the unroll budget.  (Straight-line code that genuinely repeats
+            an identical operation back-to-back is folded too — a
+            documented imprecision; see docs/MODEL.md.) *)
+         cycles := { entry = prev_id; body = [ inv ] } :: !cycles;
+         Back prev_id
+       | _ ->
+      let occurrences = List.filter (fun (i, _) -> i = inv) path in
+      if List.length occurrences >= unroll then begin
+        (* Seen this exact invocation [unroll] times on the way here: treat
+           the repetition as a loop back to its most recent occurrence. *)
+        let entry = snd (List.hd occurrences) in
+        let body =
+          List.rev
+            (List.filter_map
+               (fun (i, id) -> if id >= entry then Some i else None)
+               path)
+        in
+        cycles := { entry; body } :: !cycles;
+        Back entry
+      end
+      else if !n_nodes >= fuel then begin
+        cut := true;
+        Cut
+      end
+      else begin
+        let id = !n_nodes in
+        let node = { inv; edges = [] } in
+        nodes_rev := node :: !nodes_rev;
+        incr n_nodes;
+        let branches = step_semantics ~exclusive ~values store inv in
+        let edges =
+          List.map
+            (fun (response, store') ->
+              let target =
+                match k response with
+                | next -> go ((inv, id) :: path) store' next
+                | exception e ->
+                  incr stuck;
+                  Stuck (Printexc.to_string e)
+              in
+              { response; target })
+            branches
+        in
+        node.edges <- edges;
+        Jump id
+      end)
+  in
+  let entry = go [] Addr_map.empty program in
+  {
+    pid;
+    entry;
+    nodes = Array.of_list (List.rev !nodes_rev);
+    cycles = List.rev !cycles;
+    complete = not !cut;
+    stuck = !stuck;
+  }
+
+let size t = Array.length t.nodes
+
+let invocations t =
+  Array.to_list t.nodes
+  |> List.map (fun n -> n.inv)
+  |> List.sort_uniq compare

@@ -1,0 +1,83 @@
+(** Bounded unfolding of a {!Smr.Program} into a response-branching
+    control-flow graph.
+
+    Programs are inert operation trees, so a call can be analyzed without a
+    machine: starting from the call's program we branch on every value an
+    operation could respond with, detect loops by spotting an invocation
+    revisited along the current path, and stop runaway branches with fuel.
+    The result is a finite tree of invocation nodes plus back-edges — enough
+    structure for the {!Checks}: which operations are reachable, which
+    invocations participate in cycles (busy-wait loops), and the worst-case
+    acyclic operation cost.
+
+    {2 Abstraction and soundness}
+
+    The extractor over-approximates reachability: responses of operations on
+    cells that several processes may write range over a caller-supplied
+    finite [values] domain, so the graph contains every real execution path
+    (plus infeasible ones — a continuation that rejects an impossible
+    response by raising is recorded as a {!Stuck} leaf, not an error).  For
+    cells the [exclusive] oracle attributes to the analyzed process alone,
+    the extractor tracks values it has written {e or observed} along the
+    path and resolves later operations deterministically — sound because no
+    other process can overwrite such a cell between two of our steps.  Two
+    caveats make the analysis bounded rather than complete: a branch that
+    exhausts [fuel] is cut (reported via [complete = false], which {!Lint}
+    treats as a violation), and loop detection unrolls [unroll] occurrences
+    of an invocation before inserting a back-edge, so a loop whose body
+    mutates its own operands on every iteration would be unrolled until fuel
+    runs out rather than recognized. *)
+
+open Smr
+
+(** Where an edge goes. *)
+type target =
+  | Jump of int  (** to node [i] *)
+  | Back of int  (** back-edge: re-enters the loop headed at node [i] *)
+  | Done  (** the call returns *)
+  | Stuck of string
+      (** the continuation raised on this (infeasible) response *)
+  | Cut  (** fuel exhausted; the graph is incomplete below here *)
+
+type edge = { response : Op.value; target : target }
+
+type node = { inv : Op.invocation; mutable edges : edge list }
+
+type cycle = {
+  entry : int;  (** node id the back-edge returns to *)
+  body : Op.invocation list;  (** invocations along the looping path segment *)
+}
+
+type t = {
+  pid : Op.pid;  (** process the program was analyzed as *)
+  entry : target;
+  nodes : node array;  (** indexed by node id, in discovery (DFS) order *)
+  cycles : cycle list;
+  complete : bool;  (** no branch was cut by fuel *)
+  stuck : int;  (** number of [Stuck] leaves (pruned infeasible branches) *)
+}
+
+val extract :
+  ?fuel:int ->
+  ?unroll:int ->
+  ?values:Op.value list ->
+  exclusive:(Op.addr -> bool) ->
+  pid:Op.pid ->
+  Op.value Program.t ->
+  t
+(** [extract ~exclusive ~pid program] unfolds [program] as executed by
+    [pid].  [values] is the response domain for unconstrained reads
+    (default [[-1; 0; 1]]; callers should widen it to cover every pid and
+    initial value the program compares against).  [exclusive a] must return
+    [true] only if no process other than [pid] ever writes cell [a] —
+    {!Lint} computes this from a first, exclusivity-free pass.  [fuel]
+    bounds the total node count (default [300_000]); [unroll] is the number
+    of occurrences of one invocation tolerated on a path before the next one
+    becomes a back-edge (default [2], so a loop exit observed after the
+    first iteration still explores its full downstream). *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val invocations : t -> Op.invocation list
+(** Every reachable invocation, deduplicated. *)

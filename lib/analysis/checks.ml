@@ -1,0 +1,59 @@
+open Smr
+
+let used_kinds cfg =
+  let kinds = List.map Op.kind (Cfg.invocations cfg) in
+  List.filter (fun k -> List.mem k kinds) Op.all_kinds
+
+let used_classes cfg =
+  let classes = List.map Op.primitive_class (Cfg.invocations cfg) in
+  List.filter
+    (fun c -> List.mem c classes)
+    [ Op.Reads_writes; Op.Comparison; Op.Fetch_and_phi ]
+
+let local ~layout ~pid inv =
+  Var.layout_home layout (Op.addr_of inv) = Var.Module pid
+
+let observed_spin ~layout cfg =
+  match cfg.Cfg.cycles with
+  | [] -> Claims.No_spin
+  | cycles ->
+    if
+      List.for_all
+        (fun c -> List.for_all (local ~layout ~pid:cfg.Cfg.pid) c.Cfg.body)
+        cycles
+    then Claims.Local_spin
+    else Claims.Remote_spin
+
+let rmr ~model ~pid inv =
+  match Cost_model.predict model pid inv with
+  | Some b -> b
+  | None -> true (* cannot rule the RMR out statically: count it *)
+
+let worst_rmrs ~model cfg =
+  let pid = cfg.Cfg.pid in
+  let cyclic_rmr =
+    List.exists
+      (fun c -> List.exists (rmr ~model ~pid) c.Cfg.body)
+      cfg.Cfg.cycles
+  in
+  if cyclic_rmr then Claims.Unbounded
+  else
+    (* The nodes form a tree (back-edges contribute no further cost: their
+       cycles are RMR-free here), so the worst path is a simple max-fold. *)
+    let rec cost = function
+      | Cfg.Jump id ->
+        let node = cfg.Cfg.nodes.(id) in
+        let here = if rmr ~model ~pid node.Cfg.inv then 1 else 0 in
+        here
+        + List.fold_left
+            (fun acc e -> max acc (cost e.Cfg.target))
+            0 node.Cfg.edges
+      | Cfg.Back _ | Cfg.Done | Cfg.Stuck _ | Cfg.Cut -> 0
+    in
+    Claims.Rmr (cost cfg.Cfg.entry)
+
+let written_addrs cfg =
+  Cfg.invocations cfg
+  |> List.filter (fun inv -> not (Op.is_read_only inv))
+  |> List.map Op.addr_of
+  |> List.sort_uniq compare

@@ -1,0 +1,31 @@
+(** The individual static checks over an extracted {!Cfg}.
+
+    Each function computes the {e observed} property; {!Lint} compares it
+    against the declared {!Claims}. *)
+
+open Smr
+
+val used_classes : Cfg.t -> Op.primitive_class list
+(** Primitive classes of every reachable invocation, deduplicated, in
+    declaration order of {!Op.primitive_class}. *)
+
+val used_kinds : Cfg.t -> Op.kind list
+(** Kinds of every reachable invocation, deduplicated. *)
+
+val observed_spin : layout:Smr.Var.layout -> Cfg.t -> Claims.spin
+(** Busy-wait locality: [No_spin] if the graph is acyclic, [Local_spin] if
+    every invocation on every cycle targets a cell homed at the analyzed
+    process's own memory module, [Remote_spin] otherwise.  (In the DSM model
+    a remote cycle means unbounded RMRs — Sec. 1's reason shared spin
+    variables are fatal.) *)
+
+val worst_rmrs : model:Smr.Cost_model.t -> Cfg.t -> Claims.bound
+(** Worst-case RMRs of a single call under [model] (normally
+    {!Smr.Cost_model.dsm}): [Unbounded] when some cycle contains an
+    RMR-classified invocation, otherwise the maximum RMR count over every
+    root-to-leaf path.  An invocation whose classification the model cannot
+    commit to statically ([predict] = [None]) is counted as an RMR. *)
+
+val written_addrs : Cfg.t -> Op.addr list
+(** Cells some reachable invocation may overwrite (writes, swaps, and
+    comparison primitives whether or not they can succeed — conservative). *)

@@ -1,0 +1,38 @@
+type spin = No_spin | Local_spin | Remote_spin
+
+type bound = Rmr of int | Unbounded
+
+type call_claim = { spin : spin; dsm_rmrs : bound }
+
+type t = {
+  single_writer : string list;
+  calls : (string * call_claim) list;
+}
+
+let call t label =
+  match List.assoc_opt label t.calls with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Claims.call: no claim for %S" label)
+
+let spin_rank = function No_spin -> 0 | Local_spin -> 1 | Remote_spin -> 2
+
+let spin_leq a b = spin_rank a <= spin_rank b
+
+let bound_leq a b =
+  match (a, b) with
+  | _, Unbounded -> true
+  | Unbounded, Rmr _ -> false
+  | Rmr x, Rmr y -> x <= y
+
+let spin_name = function
+  | No_spin -> "none"
+  | Local_spin -> "local"
+  | Remote_spin -> "remote"
+
+let bound_name = function
+  | Rmr k -> string_of_int k
+  | Unbounded -> "unbounded"
+
+let pp_spin ppf s = Fmt.string ppf (spin_name s)
+
+let pp_bound ppf b = Fmt.string ppf (bound_name b)

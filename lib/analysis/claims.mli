@@ -1,0 +1,42 @@
+(** Machine-checkable claims an algorithm makes about itself.
+
+    Every algorithm in the repo encodes a statement from the paper's
+    complexity landscape — "cc-flag uses reads and writes only", "the DSM
+    solutions are local-spin", "Poll is O(1) RMR".  A [Claims.t] states those
+    properties as data so {!Lint} can verify them against the extracted
+    control-flow graph instead of trusting comments. *)
+
+(** How a call busy-waits, ordered [No_spin < Local_spin < Remote_spin].
+    A claim passes when the observed behaviour is no worse than declared
+    (over-claiming [Remote_spin] is always sound, never flattering). *)
+type spin = No_spin | Local_spin | Remote_spin
+
+(** Worst-case DSM RMRs over any single call: a concrete bound, or
+    unbounded (some reachable loop performs a remote reference). *)
+type bound = Rmr of int | Unbounded
+
+type call_claim = {
+  spin : spin;  (** worst busy-wait locality over every analyzed process *)
+  dsm_rmrs : bound;  (** worst-case RMRs of one call under {!Smr.Cost_model.dsm} *)
+}
+
+type t = {
+  single_writer : string list;
+      (** base names of variables claimed to have at most one (potentially)
+          writing process per cell; array cells are matched by the name
+          before the ["[i]"] suffix *)
+  calls : (string * call_claim) list;  (** claim per exported call label *)
+}
+
+val call : t -> string -> call_claim
+(** Look up a call's claim; raises [Invalid_argument] for an undeclared
+    label so a catalog typo fails loudly. *)
+
+val spin_leq : spin -> spin -> bool
+val bound_leq : bound -> bound -> bool
+
+val spin_name : spin -> string
+val bound_name : bound -> string
+
+val pp_spin : spin Fmt.t
+val pp_bound : bound Fmt.t

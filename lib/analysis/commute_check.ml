@@ -1,0 +1,122 @@
+open Smr
+
+type counterexample = {
+  a : Op.invocation;
+  b : Op.invocation;
+  init : (Op.addr * Op.value) list;
+  links : (Op.pid * Op.addr) list;
+  reason : string;
+}
+
+type result = {
+  pairs : int;
+  kind_pairs : int;
+  checked : int;
+  commuting : int;
+  failures : counterexample list;
+}
+
+let domain = [ 0; 1 ]
+
+(* Every invocation constructor over one address, with operands drawn from
+   the value domain: 15 shapes per address, covering all 8 kinds. *)
+let shapes a =
+  [ Op.Read a; Op.Ll a; Op.Tas a ]
+  @ List.concat_map
+      (fun v -> [ Op.Write (a, v); Op.Sc (a, v); Op.Faa (a, v); Op.Fas (a, v) ])
+      domain
+  @ List.concat_map
+      (fun e -> List.map (fun u -> Op.Cas (a, e, u)) domain)
+      domain
+
+let pp_counterexample ppf c =
+  Fmt.pf ppf "%a / %a from %a links %a: %s" Op.pp_invocation c.a
+    Op.pp_invocation c.b
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") int int))
+    c.init
+    Fmt.(list ~sep:comma (pair ~sep:(any "@") int int))
+    c.links c.reason
+
+let run () =
+  let mk_memory (v0, v1) =
+    let ctx = Var.Ctx.create () in
+    let c0 = Var.Ctx.int ctx ~name:"c0" ~home:Var.Shared v0 in
+    let c1 = Var.Ctx.int ctx ~name:"c1" ~home:Var.Shared v1 in
+    (Memory.create (Var.Ctx.freeze ctx), Var.addr c0, Var.addr c1)
+  in
+  (* Addresses are allocation-order stable; grab them once. *)
+  let _, a0, a1 = mk_memory (0, 0) in
+  let invs = shapes a0 @ shapes a1 in
+  let inits =
+    List.concat_map (fun v0 -> List.map (fun v1 -> (v0, v1)) domain) domain
+  in
+  let link_sites = [ (0, a0); (0, a1); (1, a0); (1, a1) ] in
+  let link_sets =
+    (* All subsets of the four (pid, addr) link sites. *)
+    List.fold_left
+      (fun acc site -> acc @ List.map (fun s -> site :: s) acc)
+      [ [] ] link_sites
+  in
+  let checked = ref 0 in
+  let commuting = ref 0 in
+  let failures = ref [] in
+  let kind_pairs = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Hashtbl.replace kind_pairs (Op.kind a, Op.kind b) ();
+          List.iter
+            (fun init ->
+              List.iter
+                (fun links ->
+                  incr checked;
+                  let m0, ad0, ad1 = mk_memory init in
+                  let m0 =
+                    List.fold_left
+                      (fun m (pid, addr) ->
+                        (Memory.apply m ~pid (Op.Ll addr)).Memory.memory)
+                      m0 links
+                  in
+                  let both first_pid first second_pid second =
+                    let r1 = Memory.apply m0 ~pid:first_pid first in
+                    let r2 =
+                      Memory.apply r1.Memory.memory ~pid:second_pid second
+                    in
+                    ( Memory.fingerprint r2.Memory.memory,
+                      r1.Memory.response,
+                      r2.Memory.response )
+                  in
+                  let fp_ab, ra_ab, rb_ab = both 0 a 1 b in
+                  let fp_ba, rb_ba, ra_ba = both 1 b 0 a in
+                  if Op.commute a b then begin
+                    incr commuting;
+                    let complain reason =
+                      failures :=
+                        {
+                          a;
+                          b;
+                          init = [ (ad0, fst init); (ad1, snd init) ];
+                          links;
+                          reason;
+                        }
+                        :: !failures
+                    in
+                    if fp_ab <> fp_ba then
+                      complain "memory fingerprints differ between orders"
+                    else if ra_ab <> ra_ba then
+                      complain "first operation's response depends on order"
+                    else if rb_ab <> rb_ba then
+                      complain "second operation's response depends on order"
+                  end)
+                link_sets)
+            inits)
+        invs)
+    invs;
+  {
+    pairs = List.length invs * List.length invs;
+    kind_pairs = Hashtbl.length kind_pairs;
+    checked = !checked;
+    commuting = !commuting;
+    failures = List.rev !failures;
+  }

@@ -1,0 +1,38 @@
+open Smr
+
+type call = {
+  label : string;
+  pids : Op.pid list;
+  program : Op.pid -> Op.value Program.t;
+}
+
+type entry = {
+  name : string;
+  mutant : bool;
+  n : int;
+  layout : Var.layout;
+  primitives : Op.primitive_class list;
+  claims : Claims.t;
+  calls : call list;
+  fuel : int option;
+  unroll : int option;
+  values : Op.value list option;
+}
+
+let entry ?(mutant = false) ?fuel ?unroll ?values ~name ~n ~layout ~primitives
+    ~claims calls =
+  (* Fail at registration time, not lint time, on a label without a claim. *)
+  List.iter (fun c -> ignore (Claims.call claims c.label)) calls;
+  { name; mutant; n; layout; primitives; claims; calls; fuel; unroll; values }
+
+let entries : entry list ref = ref []
+
+let register e =
+  entries := List.filter (fun e' -> e'.name <> e.name) !entries @ [ e ]
+
+let all ?(mutants = false) () =
+  List.filter (fun e -> mutants || not e.mutant) !entries
+
+let find name = List.find_opt (fun e -> e.name = name) !entries
+
+let clear () = entries := []

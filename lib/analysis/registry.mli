@@ -1,0 +1,56 @@
+(** Registry of lintable algorithm entries.
+
+    Algorithm libraries register one {!entry} per analyzable instance (an
+    algorithm at a concrete process count); the [separation lint] command
+    and the test-suite run {!Lint} over {!all} of them.  Registration is
+    by name: re-registering a name replaces the previous entry, so the
+    catalog is idempotent. *)
+
+open Smr
+
+type call = {
+  label : string;  (** e.g. ["poll"], ["acquire"] — must match a claim *)
+  pids : Op.pid list;  (** processes the call is analyzed as *)
+  program : Op.pid -> Op.value Program.t;
+}
+
+type entry = {
+  name : string;
+  mutant : bool;
+      (** seeded lint-violation fixture: excluded from the default run,
+          expected to fail when included *)
+  n : int;  (** process count the instance was built for *)
+  layout : Var.layout;
+  primitives : Op.primitive_class list;  (** declared primitive classes *)
+  claims : Claims.t;
+  calls : call list;
+  fuel : int option;  (** per-entry override of the extractor's node budget *)
+  unroll : int option;
+      (** per-entry override of the extractor's non-consecutive occurrence
+          threshold, for algorithms whose infeasible-path artifacts need an
+          extra unrolling to separate (see docs/MODEL.md) *)
+  values : Op.value list option;  (** per-entry response-domain override *)
+}
+
+val entry :
+  ?mutant:bool ->
+  ?fuel:int ->
+  ?unroll:int ->
+  ?values:Op.value list ->
+  name:string ->
+  n:int ->
+  layout:Var.layout ->
+  primitives:Op.primitive_class list ->
+  claims:Claims.t ->
+  call list ->
+  entry
+
+val register : entry -> unit
+
+val all : ?mutants:bool -> unit -> entry list
+(** Registered entries in registration order; [mutants] (default [false])
+    includes the seeded-violation fixtures. *)
+
+val find : string -> entry option
+
+val clear : unit -> unit

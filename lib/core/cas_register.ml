@@ -113,3 +113,15 @@ module Transformed = struct
 
   let signal t p = Sync.Local_cas.transform t.lcas p (signal t.inner p)
 end
+
+(* Lint claims: the CAS registration loop retries on the shared head
+   counter — remote spinning with no per-call bound (the E8a schedule
+   realizes Θ(k²) total), exactly the weakness Cor. 6.14 predicts for the
+   comparison class.  Claims hold for the transformed (reads/writes only)
+   variant too: the lock-mediated emulation only adds remote waiting. *)
+let claims ~n:_ =
+  Analysis.Claims.
+    { single_writer = [ "G"; "V"; "registered" ];
+      calls =
+        [ ("signal", { spin = Remote_spin; dsm_rmrs = Unbounded });
+          ("poll", { spin = Remote_spin; dsm_rmrs = Unbounded }) ] }

@@ -13,3 +13,7 @@ val cas_addrs : t -> Smr.Op.addr list
     counter replaced by the lock-mediated reads/writes implementation of
     {!Sync.Local_cas}.  Histories contain no CAS steps. *)
 module Transformed : Signaling.POLLING
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims checked by [separation lint], valid for both the direct and
+    the {!Transformed} variant (see docs/EXTENDING.md). *)

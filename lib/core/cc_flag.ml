@@ -26,3 +26,13 @@ let create ctx (_ : Signaling.config) =
 let signal t _p = Program.write t.flag true
 
 let poll t _p = Program.read t.flag
+
+(* Lint claims: the Section 5 headline — reads/writes only, wait-free (no
+   busy-wait anywhere), one operation per call, and only the signaler ever
+   writes the flag. *)
+let claims ~n:_ =
+  Analysis.Claims.
+    { single_writer = [ "B" ];
+      calls =
+        [ ("signal", { spin = No_spin; dsm_rmrs = Rmr 1 });
+          ("poll", { spin = No_spin; dsm_rmrs = Rmr 1 }) ] }

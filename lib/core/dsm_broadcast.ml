@@ -31,3 +31,13 @@ let create ctx (cfg : Signaling.config) =
 let signal = Dsm_fixed_waiters.signal
 
 let poll = Dsm_fixed_waiters.poll
+
+(* Lint claims: wait-free; Signal() pays one write per process (its own
+   flag is local), Poll() reads only the caller's local flag.  The Θ(N/k)
+   amortized cost of E2 is this n-1 worst case spread over k waiters. *)
+let claims ~n =
+  Analysis.Claims.
+    { single_writer = [ "V" ];
+      calls =
+        [ ("signal", { spin = No_spin; dsm_rmrs = Rmr (n - 1) });
+          ("poll", { spin = No_spin; dsm_rmrs = Rmr 0 }) ] }

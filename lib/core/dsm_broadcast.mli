@@ -4,3 +4,6 @@
     adversary to amortized Θ(N/k) RMRs in DSM (experiment E2). *)
 
 include Signaling.POLLING
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims checked by [separation lint] (see docs/EXTENDING.md). *)

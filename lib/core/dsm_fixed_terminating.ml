@@ -55,3 +55,14 @@ let signal t _p =
          let* () = Program.await t.part.(j) Fun.id in
          Program.write t.v.(j) true)
        t.targets)
+
+(* Lint claims: Poll() is wait-free and fully local (own participation
+   mark, own flag); Signal() busy-waits on each participant's part[j] cell
+   — remote spinning, which is exactly the cost this terminating variant
+   accepts to let waiters stop participating. *)
+let claims ~n:_ =
+  Analysis.Claims.
+    { single_writer = [ "V"; "part" ];
+      calls =
+        [ ("signal", { spin = Remote_spin; dsm_rmrs = Unbounded });
+          ("poll", { spin = No_spin; dsm_rmrs = Rmr 0 }) ] }

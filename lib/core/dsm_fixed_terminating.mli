@@ -3,3 +3,6 @@
     amortized RMRs; blocks if a fixed waiter never participates. *)
 
 include Signaling.POLLING
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims checked by [separation lint] (see docs/EXTENDING.md). *)

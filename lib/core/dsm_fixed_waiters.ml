@@ -40,3 +40,14 @@ let signal t _p =
   Program.seq (List.map (fun j -> Program.write t.v.(j) true) t.targets)
 
 let poll t p = Program.read t.v.(p)
+
+(* Lint claims: with the waiter set fixed at creation, Signal() writes just
+   the declared targets' flags (at most n-1 remote) and Poll() is one local
+   read — the local-spin baseline the harder variants are measured
+   against. *)
+let claims ~n =
+  Analysis.Claims.
+    { single_writer = [ "V" ];
+      calls =
+        [ ("signal", { spin = No_spin; dsm_rmrs = Rmr (n - 1) });
+          ("poll", { spin = No_spin; dsm_rmrs = Rmr 0 }) ] }

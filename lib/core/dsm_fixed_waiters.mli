@@ -8,3 +8,6 @@ include Signaling.POLLING
 val create_targets : Smr.Var.Ctx.ctx -> n:int -> targets:Smr.Op.pid list -> t
 (** Flags for all [n] processes, with Signal() writing exactly [targets];
     shared with {!Dsm_broadcast} (which targets everyone). *)
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims checked by [separation lint] (see docs/EXTENDING.md). *)

@@ -57,3 +57,15 @@ let wait t p =
     let* () = Program.repeat_until (Dsm_single_waiter.poll t.single p) in
     Program.for_ 0 (t.n - 1) (fun i -> Program.write t.led.(i) true)
   else Program.await t.led.(p) Fun.id
+
+(* Lint claims: blocking semantics with every busy-wait local — election
+   losers spin on their own announce cell, the leader polls its own
+   registered/V cells, non-leaders block on their own led cell.  Wait()'s
+   worst acyclic cost is the winning path: election TAS + n-1 announce
+   fan-out + the W/S registration + n-1 led fan-out = 2n+1. *)
+let claims ~n =
+  Analysis.Claims.
+    { single_writer = [ "registered"; "S"; "V" ];
+      calls =
+        [ ("signal", { spin = No_spin; dsm_rmrs = Rmr 3 });
+          ("wait", { spin = Local_spin; dsm_rmrs = Rmr ((2 * n) + 1) }) ] }

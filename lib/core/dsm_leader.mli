@@ -3,3 +3,6 @@
     out over per-process local-spin cells. *)
 
 include Signaling.BLOCKING
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims checked by [separation lint] (see docs/EXTENDING.md). *)

@@ -63,3 +63,15 @@ let signal t _p =
     Sync.Fai_queue.drain t.queue ~from:0 (fun q -> Program.write t.v.(q) true)
   in
   Program.return ()
+
+(* Lint claims: Poll() is wait-free O(1) — the F&I registration (one faa,
+   one slot publish, one G read) is what Theorem 6.2's primitive class
+   cannot express; Signal() drains the queue, busy-waiting on each claimed
+   slot's publication (remote, unbounded — but amortized O(1) per
+   registration, E5). *)
+let claims ~n:_ =
+  Analysis.Claims.
+    { single_writer = [ "G"; "V"; "registered" ];
+      calls =
+        [ ("signal", { spin = Remote_spin; dsm_rmrs = Unbounded });
+          ("poll", { spin = No_spin; dsm_rmrs = Rmr 3 }) ] }

@@ -4,3 +4,6 @@
     Corollary 6.14; the adversary's erasures diverge against it. *)
 
 include Signaling.POLLING
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims checked by [separation lint] (see docs/EXTENDING.md). *)

@@ -75,3 +75,14 @@ let signal t _p =
   Program.for_ 0 (t.n - 1) (fun j ->
       let* r = Program.read t.reg.(j) in
       Program.when_ r (Program.write t.v.(j) true))
+
+(* Lint claims: wait-free; waiters register in cells homed at the
+   signaler's module (one remote write + the S read), Signal() scans the
+   registry locally and forwards into registered waiters' local flags (at
+   most S plus n-1 remote writes). *)
+let claims ~n =
+  Analysis.Claims.
+    { single_writer = [ "reg"; "S"; "V"; "registered" ];
+      calls =
+        [ ("signal", { spin = No_spin; dsm_rmrs = Rmr n });
+          ("poll", { spin = No_spin; dsm_rmrs = Rmr 2 }) ] }

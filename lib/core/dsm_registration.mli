@@ -4,3 +4,6 @@
     O(1) amortized. *)
 
 include Signaling.POLLING
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims checked by [separation lint] (see docs/EXTENDING.md). *)

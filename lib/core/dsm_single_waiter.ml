@@ -55,3 +55,14 @@ let signal t _p =
   match waiter with
   | None -> Program.return () (* no waiter announced yet; it will read S *)
   | Some j -> Program.write t.v.(j) true
+
+(* Lint claims: the Section 7 W/S handshake — wait-free both sides, O(1)
+   RMRs worst case: Poll() at most registers (write W, read S), Signal()
+   raises S, reads W and forwards into the waiter's local flag.  With a
+   single waiter every cell has one writing process. *)
+let claims ~n:_ =
+  Analysis.Claims.
+    { single_writer = [ "W"; "S"; "V"; "registered" ];
+      calls =
+        [ ("signal", { spin = No_spin; dsm_rmrs = Rmr 3 });
+          ("poll", { spin = No_spin; dsm_rmrs = Rmr 2 }) ] }

@@ -3,3 +3,6 @@
     in the DSM model. *)
 
 include Signaling.POLLING
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims checked by [separation lint] (see docs/EXTENDING.md). *)

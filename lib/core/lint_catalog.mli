@@ -1,0 +1,31 @@
+(** The lint catalog: every shipped algorithm registered as an
+    {!Analysis.Registry} entry, plus the {!Core.Results} rendering shared
+    by the CLI, the golden-file generator and the test-suite.
+
+    Signaling algorithms are analyzed at [n] processes (default 4; the
+    single-waiter variant keeps its one waiter); locks at a fixed small
+    process count chosen so the exhaustive unfolding stays cheap (3, or 2
+    for the tournament lock and the lock-transformed registration
+    variants, whose CFGs multiply per level). *)
+
+val register : ?n:int -> unit -> unit
+(** (Re-)register every catalog entry, including the seeded mutants of
+    {!Lint_mutants} (marked [mutant], so excluded from default runs). *)
+
+val run :
+  ?n:int ->
+  ?mutants:bool ->
+  ?fuel:int ->
+  ?names:string list ->
+  unit ->
+  Analysis.Lint.report list
+(** Register and lint.  [names] restricts to the named entries (unknown
+    names raise [Invalid_argument]). *)
+
+val lint_table : Analysis.Lint.report list -> Results.table
+(** One row per analyzed call: CFG statistics, observed properties,
+    declared claims, and any violations. *)
+
+val commute_table : Analysis.Commute_check.result -> Results.table
+
+val all_ok : Analysis.Lint.report list -> Analysis.Commute_check.result -> bool

@@ -1,0 +1,86 @@
+open Smr
+
+let remote_spin_name = "mutant-remote-spin"
+
+let cas_flag_name = "mutant-cas-flag"
+
+(* dsm-fixed's broadcast shape, but the flags land in the shared module:
+   the Wait() spin is remote, contradicting the local-spin claim below. *)
+module Remote_spin_wait = struct
+  type t = { v : bool Var.t array }
+
+  let create ctx ~n =
+    { v =
+        Var.Ctx.bool_array ctx ~name:"V"
+          ~home:(fun _ -> Var.Shared)
+          n
+          (fun _ -> false) }
+
+  let signal t _p =
+    Program.seq
+      (List.init (Array.length t.v) (fun j -> Program.write t.v.(j) true))
+
+  let wait t p = Program.await t.v.(p) Fun.id
+
+  let claims ~n =
+    Analysis.Claims.
+      { single_writer = [ "V" ];
+        calls =
+          [ ("signal", { spin = No_spin; dsm_rmrs = Rmr n });
+            ("wait", { spin = Local_spin (* the lie *); dsm_rmrs = Unbounded }) ] }
+end
+
+(* cc-flag, except Signal() sneaks in a CAS while the declared primitive
+   class still says reads/writes only. *)
+module Cas_flag = struct
+  type t = { flag : bool Var.t }
+
+  let primitives = [ Op.Reads_writes (* the lie *) ]
+
+  let create ctx = { flag = Var.Ctx.bool ctx ~name:"B" ~home:Var.Shared false }
+
+  let signal t _p =
+    Program.map ignore (Program.cas t.flag ~expected:false ~update:true)
+
+  let poll t p =
+    let _ = p in
+    Program.read t.flag
+
+  let claims ~n:_ =
+    Analysis.Claims.
+      { single_writer = [ "B" ];
+        calls =
+          [ ("signal", { spin = No_spin; dsm_rmrs = Rmr 1 });
+            ("poll", { spin = No_spin; dsm_rmrs = Rmr 1 }) ] }
+end
+
+let unit_call label pids program =
+  { Analysis.Registry.label;
+    pids;
+    program = (fun p -> Smr.Program.map (fun () -> 0) (program p)) }
+
+let register ~n =
+  let signalers = [ 0 ] and waiters = List.init (n - 1) (fun i -> i + 1) in
+  (let ctx = Var.Ctx.create () in
+   let t = Remote_spin_wait.create ctx ~n in
+   let layout = Var.Ctx.freeze ctx in
+   Analysis.Registry.register
+     (Analysis.Registry.entry ~mutant:true ~name:remote_spin_name ~n ~layout
+        ~primitives:[ Op.Reads_writes ]
+        ~claims:(Remote_spin_wait.claims ~n)
+        [ unit_call "signal" signalers (Remote_spin_wait.signal t);
+          unit_call "wait" waiters (Remote_spin_wait.wait t) ]));
+  let ctx = Var.Ctx.create () in
+  let t = Cas_flag.create ctx in
+  let layout = Var.Ctx.freeze ctx in
+  Analysis.Registry.register
+    (Analysis.Registry.entry ~mutant:true ~name:cas_flag_name ~n ~layout
+       ~primitives:Cas_flag.primitives ~claims:(Cas_flag.claims ~n)
+       [ unit_call "signal" signalers (Cas_flag.signal t);
+         { Analysis.Registry.label = "poll";
+           pids = waiters;
+           program =
+             (fun p ->
+               Smr.Program.map
+                 (fun b -> if b then 1 else 0)
+                 (Cas_flag.poll t p)) } ])

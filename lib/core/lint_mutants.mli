@@ -1,0 +1,19 @@
+(** Seeded lint-violation fixtures.
+
+    Two deliberately broken variants of shipped algorithms, registered with
+    [mutant = true] so the default lint run skips them; including them
+    (tests, CI's expected-failure step) must produce exactly their two
+    violations — a remote busy-wait behind a local-spin claim, and a CAS
+    behind a reads/writes-only declaration. *)
+
+val remote_spin_name : string
+(** A dsm-fixed-style broadcast whose per-waiter flags were "accidentally"
+    homed in the shared module; its Wait() claims local spinning but polls
+    a remote cell.  Expected violation: [local-spin] on [wait]. *)
+
+val cas_flag_name : string
+(** cc-flag with Signal() "optimized" into a CAS while still declaring
+    reads/writes only.  Expected violation: [primitive-class] on
+    [signal]. *)
+
+val register : n:int -> unit

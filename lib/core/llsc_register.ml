@@ -106,3 +106,12 @@ module Transformed = struct
 
   let signal t p = Sync.Local_cas.transform t.lcas p (signal t.inner p)
 end
+
+(* Lint claims: as cas_register — the LL/SC retry loop spins on the shared
+   head cell; comparison-class registration cannot be O(1) per call. *)
+let claims ~n:_ =
+  Analysis.Claims.
+    { single_writer = [ "G"; "V"; "registered" ];
+      calls =
+        [ ("signal", { spin = Remote_spin; dsm_rmrs = Unbounded });
+          ("poll", { spin = Remote_spin; dsm_rmrs = Unbounded }) ] }

@@ -11,3 +11,6 @@ val llsc_addrs : t -> Smr.Op.addr list
 (** The algorithm after the Corollary 6.14 reduction (LL/SC flavor):
     histories contain no LL or SC steps. *)
 module Transformed : Signaling.POLLING
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims checked by [separation lint] (see docs/EXTENDING.md). *)

@@ -48,3 +48,14 @@ module Make (Inner : Signaling.POLLING) = struct
          allowed to be. *)
       Program.await t.completed Fun.id
 end
+
+(* Lint claims for [Make]: Poll() is the inner algorithm's; Signal() adds
+   the election TAS and, for losers, a busy-wait on the shared completion
+   flag — remote spinning by design (Specification 4.1 forbids returning
+   before the signal is observable). *)
+let claims ~inner ~n:_ =
+  Analysis.Claims.
+    { single_writer = inner.Analysis.Claims.single_writer;
+      calls =
+        [ ("signal", { spin = Remote_spin; dsm_rmrs = Unbounded });
+          ("poll", Analysis.Claims.call inner "poll") ] }

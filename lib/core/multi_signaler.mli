@@ -4,3 +4,8 @@
     return once the signal is observable — Specification 4.1). *)
 
 module Make (Inner : Signaling.POLLING) : Signaling.POLLING
+
+val claims : inner:Analysis.Claims.t -> n:int -> Analysis.Claims.t
+(** Lint claims for [Make] over an inner algorithm with claims [inner]:
+    Poll() inherits the inner poll claim; Signal() busy-waits remotely on
+    the completion flag (see docs/EXTENDING.md). *)

@@ -26,6 +26,19 @@ type invocation =
 
 type kind = K_read | K_write | K_cas | K_ll | K_sc | K_faa | K_fas | K_tas
 
+let all_kinds =
+  [ K_read; K_write; K_cas; K_ll; K_sc; K_faa; K_fas; K_tas ]
+
+let kind_name = function
+  | K_read -> "read"
+  | K_write -> "write"
+  | K_cas -> "cas"
+  | K_ll -> "ll"
+  | K_sc -> "sc"
+  | K_faa -> "faa"
+  | K_fas -> "fas"
+  | K_tas -> "tas"
+
 let kind = function
   | Read _ -> K_read
   | Write _ -> K_write
@@ -105,11 +118,12 @@ type primitive_class =
   | Comparison (* CAS, LL/SC: covered by the lower bound via Cor. 6.14 *)
   | Fetch_and_phi (* FAA/FAI, FAS, TAS: outside the lower bound's reach *)
 
-let primitive_class inv =
-  match kind inv with
+let primitive_class_of_kind = function
   | K_read | K_write -> Reads_writes
   | K_cas | K_ll | K_sc -> Comparison
   | K_faa | K_fas | K_tas -> Fetch_and_phi
+
+let primitive_class inv = primitive_class_of_kind (kind inv)
 
 let pp_primitive_class ppf = function
   | Reads_writes -> Fmt.string ppf "reads/writes"

@@ -33,6 +33,13 @@ type kind = K_read | K_write | K_cas | K_ll | K_sc | K_faa | K_fas | K_tas
 
 val kind : invocation -> kind
 
+val all_kinds : kind list
+(** Every kind, in declaration order — exhaustiveness hooks for the static
+    analyzer ({!Analysis}) and the commute differential check. *)
+
+val kind_name : kind -> string
+(** Lower-case mnemonic ("read", "cas", ...) for reports. *)
+
 val addr_of : invocation -> addr
 (** The cell an invocation acts on. *)
 
@@ -74,5 +81,7 @@ val show_invocation : invocation -> string
 type primitive_class = Reads_writes | Comparison | Fetch_and_phi
 
 val primitive_class : invocation -> primitive_class
+
+val primitive_class_of_kind : kind -> primitive_class
 
 val pp_primitive_class : primitive_class Fmt.t

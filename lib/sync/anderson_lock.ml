@@ -47,3 +47,14 @@ let release t p =
   let* slot = Program.read t.my_slot.(p) in
   let* () = Program.write t.has_lock.(slot) false in
   Program.write t.has_lock.((slot + 1) mod t.n) true
+
+(* Lint claims: slots are homed independently of who draws them, so the
+   per-slot spin is remote in DSM.  Only its owner writes my_slot[p];
+   has_lock slots are handed around and multi-written.  Release touches at
+   most two has_lock slots remotely. *)
+let claims ~n:_ =
+  Analysis.Claims.
+    { single_writer = [ "anderson.my_slot" ];
+      calls =
+        [ ("acquire", { spin = Remote_spin; dsm_rmrs = Unbounded });
+          ("release", { spin = No_spin; dsm_rmrs = Rmr 2 }) ] }

@@ -3,3 +3,6 @@
     DSM model, where slots are homed independently of who draws them. *)
 
 include Mutex_intf.LOCK
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims checked by [separation lint] (see docs/EXTENDING.md). *)

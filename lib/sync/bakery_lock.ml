@@ -71,3 +71,14 @@ let acquire t p =
   wait_for 0
 
 let release t p = Program.write t.number.(p) 0
+
+(* Lint claims: reads/writes only (the FCFS baseline); the doorway and
+   priority scans poll other processes' choosing/number cells, remote in
+   DSM.  Each process alone writes its own choosing and number cells;
+   release just retires the owned number cell (0 RMRs). *)
+let claims ~n:_ =
+  Analysis.Claims.
+    { single_writer = [ "bakery.choosing"; "bakery.number" ];
+      calls =
+        [ ("acquire", { spin = Remote_spin; dsm_rmrs = Unbounded });
+          ("release", { spin = No_spin; dsm_rmrs = Rmr 0 }) ] }

@@ -3,3 +3,6 @@
     literature; Θ(N) scans per passage, remote in both models. *)
 
 include Mutex_intf.LOCK
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims checked by [separation lint] (see docs/EXTENDING.md). *)

@@ -49,3 +49,14 @@ let release t p =
   let* () = Program.write t.locked.(node) false in
   (* Adopt the predecessor's (now retired) node for the next acquire. *)
   Program.write t.my_node.(p) pred
+
+(* Lint claims: the spin node rotates between processes, so waiting is
+   generally in someone else's module — remote in DSM (the mirror image of
+   MCS).  my_node/my_pred are per-process memos written only by their
+   owner; release frees the owned node (at most 1 remote write). *)
+let claims ~n:_ =
+  Analysis.Claims.
+    { single_writer = [ "clh.my_node"; "clh.my_pred" ];
+      calls =
+        [ ("acquire", { spin = Remote_spin; dsm_rmrs = Unbounded });
+          ("release", { spin = No_spin; dsm_rmrs = Rmr 1 }) ] }

@@ -3,3 +3,6 @@
     image of MCS in the Section 3 landscape. *)
 
 include Mutex_intf.LOCK
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims checked by [separation lint] (see docs/EXTENDING.md). *)

@@ -73,3 +73,14 @@ let with_delay delay : (module Mutex_intf.LOCK) =
 
     let release = release
   end)
+
+(* Lint claims: the contention wait polls the single shared variable
+   (remote in DSM); the timing delay only reads the process's own pause
+   cell, which nobody ever writes.  Claims describe the packaged lock for
+   any fixed delay. *)
+let claims ~n:_ =
+  Analysis.Claims.
+    { single_writer = [ "fischer.pause" ];
+      calls =
+        [ ("acquire", { spin = Remote_spin; dsm_rmrs = Unbounded });
+          ("release", { spin = No_spin; dsm_rmrs = Rmr 1 }) ] }

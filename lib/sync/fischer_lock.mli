@@ -17,3 +17,7 @@ val release : t -> Op.pid -> unit Program.t
 
 val with_delay : int -> (module Mutex_intf.LOCK)
 (** Package as an ordinary lock with the delay fixed. *)
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims for the packaged lock at any fixed delay, checked by
+    [separation lint] (see docs/EXTENDING.md). *)

@@ -23,3 +23,12 @@ let acquire t _p =
      not taken)
 
 let release t _p = Program.write t.flag false
+
+(* Lint claims: the spin TASes the shared flag, so waiting is remote and
+   RMR-unbounded in DSM; release is one remote write. *)
+let claims ~n:_ =
+  Analysis.Claims.
+    { single_writer = [];
+      calls =
+        [ ("acquire", { spin = Remote_spin; dsm_rmrs = Unbounded });
+          ("release", { spin = No_spin; dsm_rmrs = Rmr 1 }) ] }

@@ -27,3 +27,12 @@ let release t _p =
   (* Only the holder writes now_serving, so read-then-write is safe. *)
   let* s = Program.read t.now_serving in
   Program.write t.now_serving (s + 1)
+
+(* Lint claims: waiting reads the shared now-serving counter (remote in
+   DSM); release reads and bumps it (2 RMRs). *)
+let claims ~n:_ =
+  Analysis.Claims.
+    { single_writer = [];
+      calls =
+        [ ("acquire", { spin = Remote_spin; dsm_rmrs = Unbounded });
+          ("release", { spin = No_spin; dsm_rmrs = Rmr 2 }) ] }

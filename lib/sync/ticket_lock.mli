@@ -3,3 +3,6 @@
     CC) and the spin is remote in DSM. *)
 
 include Mutex_intf.LOCK
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims checked by [separation lint] (see docs/EXTENDING.md). *)

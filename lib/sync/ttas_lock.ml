@@ -26,3 +26,13 @@ let acquire t _p =
      not taken)
 
 let release t _p = Program.write t.flag false
+
+(* Lint claims: the read-spin still targets the shared flag — cheap in CC,
+   remote and unbounded in DSM (the model sensitivity this lock exists to
+   show). *)
+let claims ~n:_ =
+  Analysis.Claims.
+    { single_writer = [];
+      calls =
+        [ ("acquire", { spin = Remote_spin; dsm_rmrs = Unbounded });
+          ("release", { spin = No_spin; dsm_rmrs = Rmr 1 }) ] }

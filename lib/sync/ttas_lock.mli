@@ -3,3 +3,6 @@
     illustration of the model sensitivity the paper's Section 1 discusses. *)
 
 include Mutex_intf.LOCK
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims checked by [separation lint] (see docs/EXTENDING.md). *)

@@ -102,3 +102,19 @@ let release t p =
       go (level - 1)
   in
   go t.levels
+
+(* Lint claims: reads/writes only and local-spin — every busy-wait targets
+   spin[p][level] homed at the waiting process — with Θ(log n) RMRs per
+   passage.  The per-level constants below are worst cases over the
+   extracted CFG (7 on entry: name write, tie write, rival read, rival
+   spin read + reset, and the two tie re-reads around the waits; 3 on
+   exit: name clear, tie read, successor grant).  At n ≤ 2 each c[v][s]
+   port belongs to one leaf process; deeper trees share ports between
+   subtree members, so the single-writer claim is only made for n ≤ 2. *)
+let claims ~n =
+  let levels = max 1 (levels_for n) in
+  Analysis.Claims.
+    { single_writer = (if n <= 2 then [ "ya.c" ] else []);
+      calls =
+        [ ("acquire", { spin = Local_spin; dsm_rmrs = Rmr (7 * levels) });
+          ("release", { spin = No_spin; dsm_rmrs = Rmr (3 * levels) }) ] }

@@ -6,3 +6,6 @@ include Mutex_intf.LOCK
 
 val levels_for : int -> int
 (** Height of the arbitration tree for [n] processes (0 when [n] = 1). *)
+
+val claims : n:int -> Analysis.Claims.t
+(** Lint claims checked by [separation lint] (see docs/EXTENDING.md). *)

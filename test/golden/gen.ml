@@ -1,4 +1,5 @@
-(* Regenerates the golden JSON fixtures pinned by test_experiments.ml.
+(* Regenerates the golden JSON fixtures pinned by test_experiments.ml and
+   test_lint.ml.
 
    Run from the repository root after an intentional change to the JSON
    format or to the experiment numbers:
@@ -9,18 +10,27 @@
 
 let fixtures =
   [ ( "test/golden/e1_small.json",
-      fun () -> Core.Results.to_json (Core.E1_cc_flag.table ~ns:[ 2; 4 ] ()) );
+      fun () ->
+        Core.Results.to_json (Core.E1_cc_flag.table ~ns:[ 2; 4 ] ()) ^ "\n" );
     ( "test/golden/e4_small.json",
       fun () ->
         Core.Results.to_json (Core.E4_queue_k.table ~n:16 ~ks:[ 1; 2; 4 ] ())
-    ) ]
+        ^ "\n" );
+    ( "test/golden/lint.json",
+      (* Byte-identical to `separation lint --json`, so CI can diff the
+         command's raw output against this file. *)
+      fun () ->
+        let reports = Core.Lint_catalog.run ~n:4 () in
+        let commute = Analysis.Commute_check.run () in
+        Core.Results.to_json_many
+          [ Core.Lint_catalog.lint_table reports;
+            Core.Lint_catalog.commute_table commute ] ) ]
 
 let () =
   List.iter
     (fun (path, render) ->
       let oc = open_out_bin path in
       output_string oc (render ());
-      output_char oc '\n';
       close_out oc;
       Printf.printf "wrote %s\n" path)
     fixtures

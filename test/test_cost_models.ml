@@ -229,6 +229,100 @@ let prop_predict_consistent =
       ignore final;
       true)
 
+(* Stronger property over the full operation vocabulary: replay a random
+   script against real cell contents (so [wrote] is truthful, including
+   failed CAS/SC), and require that whenever a model commits to a
+   prediction ([Some b]), accounting the very same step classifies it the
+   same way — under the DSM model and every CC protocol.  [None]
+   predictions (outcome-dependent CC cases) are exercised but unchecked,
+   as the contract allows. *)
+let arb_full_step =
+  QCheck.make
+    ~print:(fun (pid, inv) ->
+      Printf.sprintf "p%d:%s" pid (Op.show_invocation inv))
+    QCheck.Gen.(
+      pair (int_bound 3)
+        (oneof
+           [ map (fun a -> Op.Read a) (int_bound 2);
+             map2 (fun a v -> Op.Write (a, v)) (int_bound 2) (int_bound 3);
+             map3
+               (fun a e u -> Op.Cas (a, e, u))
+               (int_bound 2) (int_bound 3) (int_bound 3);
+             map (fun a -> Op.Ll a) (int_bound 2);
+             map2 (fun a v -> Op.Sc (a, v)) (int_bound 2) (int_bound 3);
+             map2 (fun a d -> Op.Faa (a, d)) (int_bound 2) (int_bound 3);
+             map2 (fun a v -> Op.Fas (a, v)) (int_bound 2) (int_bound 3);
+             map (fun a -> Op.Tas a) (int_bound 2) ]))
+
+let prop_predict_never_contradicts_account =
+  qcheck "predict Some b matches account across all models and op kinds"
+    QCheck.(small_list arb_full_step)
+    (fun script ->
+      let layout, vars = layout_with 3 in
+      let addr i = Var.addr vars.(i) in
+      (* Replay once against concrete cell contents to learn each step's
+         actual nontriviality, rebasing the generator's small addresses
+         onto the layout's. *)
+      let values = Hashtbl.create 3 in
+      let links = Hashtbl.create 8 in
+      let steps =
+        List.map
+          (fun (pid, inv) ->
+            let inv =
+              match inv with
+              | Op.Read a -> Op.Read (addr a)
+              | Op.Write (a, v) -> Op.Write (addr a, v)
+              | Op.Cas (a, e, u) -> Op.Cas (addr a, e, u)
+              | Op.Ll a -> Op.Ll (addr a)
+              | Op.Sc (a, v) -> Op.Sc (addr a, v)
+              | Op.Faa (a, d) -> Op.Faa (addr a, d)
+              | Op.Fas (a, v) -> Op.Fas (addr a, v)
+              | Op.Tas a -> Op.Tas (addr a)
+            in
+            let a = Op.addr_of inv in
+            let current = Option.value ~default:0 (Hashtbl.find_opt values a) in
+            let ll_valid = Hashtbl.mem links (pid, a) in
+            let e = Op.execute ~current ~ll_valid inv in
+            (match inv with Op.Ll _ -> Hashtbl.replace links (pid, a) () | _ -> ());
+            (match e.Op.new_value with
+            | Some v ->
+              Hashtbl.replace values a v;
+              (* A nontrivial operation breaks every link on the cell. *)
+              Hashtbl.iter
+                (fun (q, b) () -> if b = a then Hashtbl.remove links (q, b))
+                (Hashtbl.copy links)
+            | None -> ());
+            (match inv with Op.Sc _ -> Hashtbl.remove links (pid, a) | _ -> ());
+            (pid, inv, e.Op.new_value <> None))
+          script
+      in
+      let models =
+        Cost_model.dsm layout
+        :: List.map
+             (fun protocol -> cc ~protocol ~n:4 ())
+             [ Cc.Write_through; Cc.Write_back; Cc.Write_update ]
+      in
+      List.for_all
+        (fun m0 ->
+          let final =
+            List.fold_left
+              (fun m (pid, inv, wrote) ->
+                let predicted = Cost_model.predict m pid inv in
+                let m, c = Cost_model.account m pid inv ~wrote in
+                (match predicted with
+                | Some b when b <> c.Cost_model.rmr ->
+                  QCheck.Test.fail_reportf
+                    "%s: predicted rmr=%b but accounted rmr=%b for p%d:%s"
+                    (Cost_model.name m) b c.Cost_model.rmr pid
+                    (Op.show_invocation inv)
+                | _ -> ());
+                m)
+              m0 steps
+          in
+          ignore final;
+          true)
+        models)
+
 let suite =
   [ case "dsm homing" test_dsm_homing;
     case "dsm remote spin is unbounded" test_dsm_spin_unbounded;
@@ -244,4 +338,5 @@ let suite =
     case "messages: bus vs directory" test_messages_bus_vs_directory;
     case "limited directory precise when small" test_limited_directory_precise_when_small;
     case "invalidations bounded by RMRs" test_invalidations_bounded_by_rmrs;
-    prop_predict_consistent ]
+    prop_predict_consistent;
+    prop_predict_never_contradicts_account ]

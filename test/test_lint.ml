@@ -1,0 +1,259 @@
+(* Tests for the static analyzer: CFG extraction, the four claim checks,
+   the shipped-catalog run, the seeded mutants, and the Op.commute
+   differential check. *)
+
+open Smr
+open Test_util
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let int_prog p = Program.map (fun () -> 0) p
+
+(* A one-shared, one-local layout plus the two cells, for hand-built
+   programs. *)
+let tiny () =
+  let ctx = Var.Ctx.create () in
+  let shared = Var.Ctx.int ctx ~name:"S" ~home:Var.Shared 0 in
+  let local = Var.Ctx.int ctx ~name:"L" ~home:(Var.Module 0) 0 in
+  (Var.Ctx.freeze ctx, shared, local)
+
+let extract ?(exclusive = fun _ -> false) ?fuel program =
+  Analysis.Cfg.extract ?fuel ~values:[ 0; 1 ] ~exclusive ~pid:0 program
+
+(* --- CFG extraction --- *)
+
+let test_cfg_straight_line () =
+  let open Program.Syntax in
+  let _, shared, local = tiny () in
+  let prog =
+    int_prog
+      (let* v = Program.read shared in
+       Program.write local (v + 1))
+  in
+  let cfg = extract prog in
+  check_true "complete" cfg.Analysis.Cfg.complete;
+  check_int "no cycles" 0 (List.length cfg.Analysis.Cfg.cycles);
+  check_int "two invocations, branching only on the read" 3
+    (Analysis.Cfg.size cfg);
+  check_int "no stuck leaves" 0 cfg.Analysis.Cfg.stuck
+
+let test_cfg_await_is_a_cycle () =
+  let _, shared, _ = tiny () in
+  let cfg = extract (int_prog (Program.await shared (fun v -> v = 1))) in
+  check_true "complete" cfg.Analysis.Cfg.complete;
+  check_true "spin loop found" (cfg.Analysis.Cfg.cycles <> [])
+
+let test_cfg_fuel_cut () =
+  let open Program.Syntax in
+  let _, shared, local = tiny () in
+  let prog =
+    int_prog
+      (let* v = Program.read shared in
+       let* w = Program.read local in
+       Program.write local (v + w))
+  in
+  let cfg = extract ~fuel:1 prog in
+  check_false "fuel exhaustion reported" cfg.Analysis.Cfg.complete
+
+let test_cfg_exclusive_pinning () =
+  (* The register-once-then-spin pattern: a process writes its own cell and
+     then awaits a value it already stored.  With ownership tracking the
+     await resolves immediately; without it the extractor must assume the
+     cell can hold anything and reports a spin loop. *)
+  let open Program.Syntax in
+  let _, _, local = tiny () in
+  let prog =
+    int_prog
+      (let* () = Program.write local 1 in
+       Program.await local (fun v -> v = 1))
+  in
+  let pinned = extract ~exclusive:(fun _ -> true) prog in
+  check_int "owned cell: await resolves statically" 0
+    (List.length pinned.Analysis.Cfg.cycles);
+  let blind = extract prog in
+  check_true "unowned cell: await is a spin loop"
+    (blind.Analysis.Cfg.cycles <> [])
+
+(* --- checks --- *)
+
+let test_checks_spin_and_rmrs () =
+  let open Program.Syntax in
+  let layout, shared, local = tiny () in
+  let model = Cost_model.dsm layout in
+  let once =
+    extract
+      (int_prog
+         (let* v = Program.read shared in
+          Program.write local v))
+  in
+  check_true "one remote access"
+    (Analysis.Checks.worst_rmrs ~model once = Analysis.Claims.Rmr 1);
+  check_true "no spin"
+    (Analysis.Checks.observed_spin ~layout once = Analysis.Claims.No_spin);
+  let local_spin = extract (int_prog (Program.await local (fun v -> v = 1))) in
+  check_true "local spin"
+    (Analysis.Checks.observed_spin ~layout local_spin
+    = Analysis.Claims.Local_spin);
+  check_true "local spin costs nothing"
+    (Analysis.Checks.worst_rmrs ~model local_spin = Analysis.Claims.Rmr 0);
+  let remote_spin =
+    extract (int_prog (Program.await shared (fun v -> v = 1)))
+  in
+  check_true "remote spin"
+    (Analysis.Checks.observed_spin ~layout remote_spin
+    = Analysis.Claims.Remote_spin);
+  check_true "remote spin is unbounded"
+    (Analysis.Checks.worst_rmrs ~model remote_spin = Analysis.Claims.Unbounded)
+
+(* --- lint on hand-built entries --- *)
+
+let entry_of ~claims ?(primitives = [ Op.Reads_writes ]) ~layout calls =
+  Analysis.Registry.entry ~name:"hand-built" ~n:2 ~layout ~primitives ~claims
+    calls
+
+let test_lint_catches_false_rmr_claim () =
+  let layout, shared, _ = tiny () in
+  let claims =
+    Analysis.Claims.
+      { single_writer = [];
+        calls = [ ("touch", { spin = No_spin; dsm_rmrs = Rmr 0 }) ] }
+  in
+  let e =
+    entry_of ~claims ~layout
+      [ { Analysis.Registry.label = "touch";
+          pids = [ 0 ];
+          program = (fun _ -> int_prog (Program.write shared 1)) } ]
+  in
+  let r = Analysis.Lint.run e in
+  check_false "report not ok" r.Analysis.Lint.ok;
+  check_true "rmr-bound violation named"
+    (List.exists (fun v -> contains v "rmr-bound") (Analysis.Lint.violations r))
+
+let test_lint_catches_false_spin_claim () =
+  let layout, shared, _ = tiny () in
+  let claims =
+    Analysis.Claims.
+      { single_writer = [];
+        calls = [ ("wait", { spin = Local_spin; dsm_rmrs = Unbounded }) ] }
+  in
+  let e =
+    entry_of ~claims ~layout
+      [ { Analysis.Registry.label = "wait";
+          pids = [ 1 ];
+          program = (fun _ -> int_prog (Program.await shared (fun v -> v = 1)))
+        } ]
+  in
+  let r = Analysis.Lint.run e in
+  check_false "report not ok" r.Analysis.Lint.ok;
+  check_true "local-spin violation named"
+    (List.exists
+       (fun v -> contains v "local-spin")
+       (Analysis.Lint.violations r))
+
+let test_lint_catches_false_ownership_claim () =
+  let layout, shared, _ = tiny () in
+  let claims =
+    Analysis.Claims.
+      { single_writer = [ "S" ];
+        calls = [ ("touch", { spin = No_spin; dsm_rmrs = Rmr 1 }) ] }
+  in
+  let e =
+    entry_of ~claims ~layout
+      [ { Analysis.Registry.label = "touch";
+          pids = [ 0; 1 ];
+          program = (fun p -> int_prog (Program.write shared p)) } ]
+  in
+  let r = Analysis.Lint.run e in
+  check_false "report not ok" r.Analysis.Lint.ok;
+  check_true "write-ownership violation named"
+    (List.exists
+       (fun v -> contains v "write-ownership")
+       (Analysis.Lint.violations r))
+
+(* --- the shipped catalog --- *)
+
+let test_catalog_all_shipped_pass () =
+  let reports = Core.Lint_catalog.run () in
+  List.iter
+    (fun (r : Analysis.Lint.report) ->
+      check_true
+        (Printf.sprintf "%s clean (%s)" r.Analysis.Lint.entry.name
+           (String.concat "; " (Analysis.Lint.violations r)))
+        r.Analysis.Lint.ok)
+    reports;
+  check_true "catalog has the full algorithm roster"
+    (List.length reports >= 20)
+
+let test_catalog_mutants_fail_exactly () =
+  let reports = Core.Lint_catalog.run ~mutants:true () in
+  let failing =
+    List.filter_map
+      (fun (r : Analysis.Lint.report) ->
+        if r.Analysis.Lint.ok then None
+        else Some (r.Analysis.Lint.entry.name, Analysis.Lint.violations r))
+      reports
+  in
+  check_int "exactly the two seeded mutants fail" 2 (List.length failing);
+  let violations_of name =
+    match List.assoc_opt name failing with
+    | Some vs -> String.concat "; " vs
+    | None -> Alcotest.failf "mutant %s did not fail" name
+  in
+  check_true "remote-spin mutant flagged by the local-spin check"
+    (contains (violations_of Core.Lint_mutants.remote_spin_name) "local-spin");
+  check_true "cas mutant flagged by the primitive-class check"
+    (contains (violations_of Core.Lint_mutants.cas_flag_name) "primitive-class")
+
+(* --- the Op.commute differential check --- *)
+
+let test_commute_exhaustive_and_sound () =
+  let r = Analysis.Commute_check.run () in
+  check_int "all 64 ordered kind pairs covered" 64
+    r.Analysis.Commute_check.kind_pairs;
+  check_int "no soundness failures" 0
+    (List.length r.Analysis.Commute_check.failures);
+  check_true "scenario count matches the enumeration"
+    (r.Analysis.Commute_check.checked
+    = r.Analysis.Commute_check.pairs * 4 * 16);
+  check_true "some pairs commute, some do not"
+    (r.Analysis.Commute_check.commuting > 0
+    && r.Analysis.Commute_check.commuting < r.Analysis.Commute_check.checked)
+
+(* --- golden JSON --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_lint_golden_json () =
+  (* Byte-for-byte pin of `separation lint --json`; regenerate with
+     `dune exec test/golden/gen.exe`. *)
+  let reports = Core.Lint_catalog.run ~n:4 () in
+  let commute = Analysis.Commute_check.run () in
+  Alcotest.(check string)
+    "golden JSON lint"
+    (read_file "golden/lint.json")
+    (Core.Results.to_json_many
+       [ Core.Lint_catalog.lint_table reports;
+         Core.Lint_catalog.commute_table commute ])
+
+let suite =
+  [ case "cfg: straight line" test_cfg_straight_line;
+    case "cfg: await is a cycle" test_cfg_await_is_a_cycle;
+    case "cfg: fuel cut reported" test_cfg_fuel_cut;
+    case "cfg: owned-cell pinning" test_cfg_exclusive_pinning;
+    case "checks: spin and rmr classification" test_checks_spin_and_rmrs;
+    case "lint: false rmr claim fails" test_lint_catches_false_rmr_claim;
+    case "lint: false spin claim fails" test_lint_catches_false_spin_claim;
+    case "lint: false ownership claim fails"
+      test_lint_catches_false_ownership_claim;
+    case "catalog: every shipped algorithm passes" test_catalog_all_shipped_pass;
+    case "catalog: mutants fail exactly" test_catalog_mutants_fail_exactly;
+    case "commute: exhaustive and sound" test_commute_exhaustive_and_sound;
+    case "lint golden JSON" test_lint_golden_json ]

@@ -22,4 +22,5 @@ let () =
       ("crash", Test_crash.suite);
       ("ablation", Test_ablation.suite);
       ("report", Test_report.suite);
+      ("lint", Test_lint.suite);
       ("experiments", Test_experiments.suite) ]

@@ -83,6 +83,57 @@ let test_primitive_classes () =
   check_true "faa class" (primitive_class (Faa (0, 1)) = Fetch_and_phi);
   check_true "tas class" (primitive_class (Tas 0) = Fetch_and_phi)
 
+(* Exhaustive check of the response conventions documented in op.mli:
+   Read/Ll answer the current value; Write answers 0; Cas answers 1 exactly
+   on match, Sc exactly when the link is valid; Faa/Fas/Tas answer the
+   previous value.  Every constructor, every (current, ll_valid) in a small
+   window, and every kind in [Op.all_kinds] must be covered. *)
+let test_execute_conventions_exhaustive () =
+  let covered = Hashtbl.create 8 in
+  let check_one ~current ~ll_valid inv =
+    Hashtbl.replace covered (Op.kind inv) ();
+    let e = Op.execute ~current ~ll_valid inv in
+    let expect_response, expect_new =
+      match inv with
+      | Op.Read _ | Op.Ll _ -> (current, None)
+      | Op.Write (_, v) -> (0, Some v)
+      | Op.Cas (_, expected, update) ->
+        if current = expected then (1, Some update) else (0, None)
+      | Op.Sc (_, v) -> if ll_valid then (1, Some v) else (0, None)
+      | Op.Faa (_, d) -> (current, Some (current + d))
+      | Op.Fas (_, v) -> (current, Some v)
+      | Op.Tas _ -> (current, Some 1)
+    in
+    check_int
+      (Printf.sprintf "%s response (current=%d, ll=%b)"
+         (Op.kind_name (Op.kind inv)) current ll_valid)
+      expect_response e.Op.response;
+    check_true
+      (Printf.sprintf "%s new value (current=%d, ll=%b)"
+         (Op.kind_name (Op.kind inv)) current ll_valid)
+      (e.Op.new_value = expect_new)
+  in
+  List.iter
+    (fun current ->
+      List.iter
+        (fun ll_valid ->
+          List.iter
+            (check_one ~current ~ll_valid)
+            [ Op.Read 0; Op.Ll 0; Op.Write (0, 3); Op.Write (0, current);
+              Op.Cas (0, current, 7); Op.Cas (0, current + 1, 7);
+              Op.Sc (0, 5); Op.Faa (0, 2); Op.Faa (0, -1); Op.Fas (0, 4);
+              Op.Tas 0 ])
+        [ false; true ])
+    [ -1; 0; 1; 2; 3 ];
+  check_int "all 8 kinds covered" (List.length Op.all_kinds)
+    (Hashtbl.length covered);
+  List.iter
+    (fun k ->
+      check_true
+        (Printf.sprintf "kind %s exercised" (Op.kind_name k))
+        (Hashtbl.mem covered k))
+    Op.all_kinds
+
 let arb_inv =
   QCheck.make
     ~print:Op.show_invocation
@@ -139,6 +190,7 @@ let suite =
     case "addr_of" test_addr_of;
     case "read-only / comparison classification" test_classification;
     case "primitive classes" test_primitive_classes;
+    case "execute conventions, exhaustive" test_execute_conventions_exhaustive;
     prop_read_only_never_writes;
     prop_fetch_ops_return_old;
     prop_nontrivial_iff_overwrite ]
