@@ -133,6 +133,37 @@ let bench_peek =
         in
         fun () -> assert (Sim.peek sim 0 <> None)))
 
+(* Tracing ablation: the instrumented hot paths hold an [Obs.Trace.t
+   option] and skip everything on [None], so an untraced run must cost
+   the same as before the observability layer existed — compare these two
+   subjects to see the overhead of tracing and the (near-)absence of
+   overhead when it is off.  Both assert the traced and untraced runs
+   compute identical accounting: observation never perturbs the run. *)
+let trace_scenario tracer =
+  let m = Option.get (Core.Experiment.find_algorithm "cc-flag") in
+  let module A = (val m : Core.Signaling.POLLING) in
+  let cfg = Core.Experiment.config_for m ~n:16 in
+  Core.Scenario.run_phased (module A) ~model:`Cc_wt ~cfg ?tracer ()
+
+let bench_trace_off =
+  Test.make ~name:"obs/phased-16-untraced"
+    (Staged.stage (fun () ->
+         let o = trace_scenario None in
+         assert (o.Core.Scenario.violations = [])))
+
+let bench_trace_on =
+  Test.make ~name:"obs/phased-16-traced"
+    (Staged.stage (fun () ->
+         let baseline = trace_scenario None in
+         let tr = Obs.Trace.create () in
+         let o = trace_scenario (Some tr) in
+         assert (o.Core.Scenario.violations = []);
+         assert (o.Core.Scenario.total_rmrs = baseline.Core.Scenario.total_rmrs);
+         assert (
+           int_of_float
+             (Obs.Metrics.total (Obs.Trace.metrics tr) "rmr_total")
+           = o.Core.Scenario.total_rmrs)))
+
 let bench_adversary_horizon polls =
   Test.make
     ~name:(Printf.sprintf "ablate/adversary-stability-polls-%d" polls)
@@ -145,6 +176,7 @@ let bench_adversary_horizon polls =
 
 let micro_benches =
   [ bench_sim_steps; bench_snapshot; bench_erase; bench_peek;
+    bench_trace_off; bench_trace_on;
     bench_adversary_horizon 1; bench_adversary_horizon 3;
     bench_adversary_horizon 6 ]
 

@@ -42,21 +42,6 @@ let model =
 let n_arg =
   Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
 
-let print_outcome name model_name (o : Core.Scenario.outcome) =
-  Fmt.pr "%s under %s:@." name model_name;
-  Fmt.pr "  total RMRs        %d@." o.Core.Scenario.total_rmrs;
-  Fmt.pr "  total messages    %d@." o.Core.Scenario.total_messages;
-  Fmt.pr "  participants      %d@." o.Core.Scenario.participants;
-  Fmt.pr "  signaler RMRs     %d@." o.Core.Scenario.signaler_rmrs;
-  Fmt.pr "  max waiter RMRs   %d@." o.Core.Scenario.max_waiter_rmrs;
-  Fmt.pr "  amortized         %.2f@." o.Core.Scenario.amortized;
-  Fmt.pr "  unfinished        %d@." o.Core.Scenario.unfinished_waiters;
-  if o.Core.Scenario.violations = [] then Fmt.pr "  spec 4.1          satisfied@."
-  else
-    List.iter
-      (fun v -> Fmt.pr "  VIOLATION: %a@." Core.Signaling.pp_violation v)
-      o.Core.Scenario.violations
-
 let run_cmd =
   let waiters =
     Arg.(
@@ -80,7 +65,13 @@ let run_cmd =
       & info [ "trace" ]
           ~doc:"Print the history as an ASCII timeline (small runs only).")
   in
-  let run (module A : Core.Signaling.POLLING) model n waiters seed trace =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the outcome as a stable JSON table on stdout.")
+  in
+  let run (module A : Core.Signaling.POLLING) model n waiters seed trace json =
     let cfg = Core.Experiment.config_for (module A) ~n in
     let o =
       match seed with
@@ -91,15 +82,24 @@ let run_cmd =
         in
         Core.Scenario.run_phased (module A) ~model ~cfg ?active_waiters ()
     in
-    print_outcome A.name (Core.Scenario.model_tag_name model) o;
-    if trace then begin
+    let table =
+      Core.Observe.outcome_table ~algorithm:A.name
+        ~model:(Core.Scenario.model_tag_name model) ~n o
+    in
+    (* Violations go to stderr so --json stdout stays a pure document. *)
+    List.iter
+      (fun v -> Fmt.epr "VIOLATION: %a@." Core.Signaling.pp_violation v)
+      o.Core.Scenario.violations;
+    if json then print_string (Core.Results.to_json table)
+    else Core.Report.print (Core.Results.to_report table);
+    if trace && not json then begin
       Fmt.pr "@.";
       Smr.Timeline.print o.Core.Scenario.sim
     end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a signaling algorithm and report RMR accounting.")
-    Term.(const run $ algo $ model $ n_arg $ waiters $ seed $ trace)
+    Term.(const run $ algo $ model $ n_arg $ waiters $ seed $ trace $ json)
 
 let explore_cmd =
   let waiters =
@@ -263,6 +263,82 @@ let adversary_cmd =
           in the DSM model.")
     Term.(const run $ algo $ n_arg $ rounds $ polls $ trace)
 
+(* `trace` replays a scenario (or the adversary construction) with the
+   observability layer attached and dumps the event stream.  Everything on
+   stdout is keyed by the logical event clock, so the bytes are identical
+   for every --jobs level and across hosts — CI diffs them. *)
+let trace_cmd =
+  let adversary =
+    Arg.(
+      value & flag
+      & info [ "adversary" ]
+          ~doc:
+            "Trace the Section 6 adversary construction instead of the \
+             phased scenario.  Always runs in the DSM model; $(b,--model) \
+             is ignored.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome); ("text", `Text) ])
+          `Jsonl
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Stream format: $(b,jsonl) (one JSON object per event), \
+             $(b,chrome) (trace_event JSON loadable in Perfetto or \
+             chrome://tracing, logical ticks as microseconds, one track \
+             per process), or $(b,text) (one line per event).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Also print the metrics table derived from the stream \
+             (counters and histograms; wall-time metrics excluded, so the \
+             table is deterministic) on stderr.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"J"
+          ~doc:
+            "Domains used to render the stream.  The output bytes are \
+             identical for every value.")
+  in
+  let run (module A : Core.Signaling.POLLING) model n adversary format metrics
+      jobs =
+    let tr = Obs.Trace.create () in
+    if adversary then
+      ignore (Core.Adversary.run (module A) ~n ~tracer:tr ())
+    else begin
+      let cfg = Core.Experiment.config_for (module A) ~n in
+      ignore (Core.Scenario.run_phased (module A) ~model ~cfg ~tracer:tr ())
+    end;
+    let events = Obs.Trace.events tr in
+    (* Rendering is per-event pure, so an ordered parallel map yields the
+       same bytes as List.map. *)
+    let map f evs = Core.Parallel.map ~jobs f evs in
+    print_string
+      (match format with
+      | `Jsonl -> Obs.Sink_jsonl.to_string ~map events
+      | `Chrome -> Obs.Sink_chrome.to_string ~map events
+      | `Text -> Obs.Sink_text.to_string ~map events);
+    if metrics then
+      Fmt.epr "%s"
+        (Core.Report.to_string
+           (Core.Results.to_report
+              (Core.Observe.metrics_table (Obs.Trace.metrics tr))))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Re-run a scenario with the deterministic tracing layer attached \
+          and dump the per-RMR event stream (JSONL, Chrome trace_event \
+          JSON, or text).")
+    Term.(
+      const run $ algo $ model $ n_arg $ adversary $ format $ metrics $ jobs)
+
 (* The registry-driven table pipeline: `tables` (and its historical alias
    `experiments`) resolves ids against Core.Experiment_registry, fans the
    runs out across domains, and renders text, CSV or JSON.  Output order
@@ -293,8 +369,11 @@ let run_tables format jobs reduced list names =
     let size =
       if reduced then Core.Experiment_def.Reduced else Core.Experiment_def.Default
     in
-    let t0 = Unix.gettimeofday () in
-    let outcomes = Core.Runner.run ~jobs ~size specs in
+    let metrics = Obs.Metrics.create () in
+    let outcomes =
+      Obs.Metrics.time metrics "tables_wall_seconds" ~labels:[] (fun () ->
+          Core.Runner.run ~jobs ~size specs)
+    in
     let tables = Core.Runner.tables outcomes in
     (match format with
     | `Json -> print_string (Core.Results.to_json_many tables)
@@ -313,7 +392,7 @@ let run_tables format jobs reduced list names =
     (* Diagnostics go to stderr so stdout stays identical across runs. *)
     Fmt.epr "separation tables: %d experiment(s), %d table(s), jobs=%d, %.2fs@."
       (List.length specs) (List.length tables) jobs
-      (Unix.gettimeofday () -. t0);
+      (Obs.Metrics.total metrics "tables_wall_seconds");
     match Core.Runner.failed_shapes outcomes with
     | [] -> ()
     | failures ->
@@ -500,5 +579,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "separation" ~version:"1.0.0" ~doc)
-          [ run_cmd; adversary_cmd; explore_cmd; tables_cmd; experiments_cmd;
-            lint_cmd; list_cmd ]))
+          [ run_cmd; adversary_cmd; explore_cmd; trace_cmd; tables_cmd;
+            experiments_cmd; lint_cmd; list_cmd ]))

@@ -91,6 +91,16 @@ type state = {
   spurious : bool;
 }
 
+(* Adversary decision events ride on the machine's tracer: each records
+   what the construction chose to do (erase, roll forward, chase...) at
+   the current logical clock.  [pid = -1] marks whole-round decisions. *)
+let decide st ~decision ~pid ~detail =
+  match Sim.tracer st.sim with
+  | None -> ()
+  | Some tr ->
+    Obs.Trace.emit tr
+      (Obs.Event.Adversary { t = Sim.clock st.sim; decision; pid; detail })
+
 let isqrt x =
   let rec go r = if (r + 1) * (r + 1) <= x then go (r + 1) else r in
   if x < 0 then 0 else go 0
@@ -125,6 +135,9 @@ let advance_to_rmr ~fuel st p =
    calls; stable iff it incurs no RMR.  The snapshot is discarded. *)
 let is_stable ?(polls = 3) ?(fuel = 10_000) st p =
   let rmrs0 = Sim.rmrs st.sim p in
+  (* The probe runs on a discarded snapshot: strip the tracer so probe
+     steps never pollute the event stream or the metrics. *)
+  let snapshot = Sim.with_tracer st.sim None in
   let rec go sim remaining fuel =
     if fuel = 0 then false (* ran too long: treat as unstable *)
     else if Sim.rmrs sim p > rmrs0 then false
@@ -140,7 +153,7 @@ let is_stable ?(polls = 3) ?(fuel = 10_000) st p =
             (remaining - 1) (fuel - 1)
       | Sim.Running _ -> go (Sim.advance sim p) remaining (fuel - 1)
   in
-  go st.sim polls fuel
+  go snapshot polls fuel
 
 (* --- conflict graphs --- *)
 
@@ -198,8 +211,12 @@ let erase_best_effort st victims =
       if not (Pid_set.mem q st.active) then (st, failures)
       else
         match Sim.erase st.sim [ q ] with
-        | sim -> ({ st with sim; active = Pid_set.remove q st.active }, failures)
-        | exception Sim.Replay_divergence _ -> (st, failures + 1))
+        | sim ->
+          decide st ~decision:"erase" ~pid:q ~detail:"";
+          ({ st with sim; active = Pid_set.remove q st.active }, failures)
+        | exception Sim.Replay_divergence _ ->
+          decide st ~decision:"erase-blocked" ~pid:q ~detail:"visible";
+          (st, failures + 1))
     (st, 0) victims
 
 (* Resolve conflicts among the poised processes: build the conflict graph
@@ -265,6 +282,7 @@ let resolve_write_conflicts ?resolution st poised =
    ongoing Poll(), erasing any active process it is about to see or touch,
    then terminate it. *)
 let roll_forward ~fuel st r =
+  decide st ~decision:"roll-forward" ~pid:r ~detail:"";
   let rec go st fuel failures =
     if fuel = 0 then failwith "Adversary.roll_forward: out of fuel"
     else
@@ -308,10 +326,16 @@ let advance_pid st p = { st with sim = Sim.advance st.sim p }
 let one_round ?resolution ~round ~stability_polls ~fuel st =
   let actives = Pid_set.elements st.active in
   let active_before = List.length actives in
+  decide st ~decision:"round" ~pid:(-1)
+    ~detail:(Printf.sprintf "round=%d active=%d" round active_before);
   let stable, unstable =
     List.partition (is_stable ~polls:stability_polls ~fuel st) actives
   in
-  if unstable = [] then `Stabilized (st, List.length stable)
+  if unstable = [] then begin
+    decide st ~decision:"stabilized" ~pid:(-1)
+      ~detail:(Printf.sprintf "stable=%d" (List.length stable));
+    `Stabilized (st, List.length stable)
+  end
   else
     let st = List.fold_left (fun st p -> advance_to_rmr ~fuel st p) st unstable in
     let st, poised, erased_c, fail_c = resolve_conflicts ?resolution st unstable in
@@ -436,10 +460,12 @@ let goose_chase ~fuel st s =
         | q :: _ -> (
           match Sim.erase st.sim [ q ] with
           | sim ->
+            decide st ~decision:"chase-erase" ~pid:q ~detail:"";
             go
               { st with sim; active = Pid_set.remove q st.active }
               fuel (erased + 1) failures unerasable
           | exception Sim.Replay_divergence _ ->
+            decide st ~decision:"chase-blocked" ~pid:q ~detail:"visible";
             go st fuel erased (failures + 1) (Pid_set.add q unerasable)))
   in
   go st fuel 0 0 Pid_set.empty
@@ -449,11 +475,13 @@ let goose_chase ~fuel st s =
    specification violation if any still reads false — the contradiction of
    Lemma 6.13. *)
 let validate_survivors ~fuel st =
+  (* Validation polls run on discarded snapshots — silence them. *)
+  let snapshot = Sim.with_tracer st.sim None in
   Pid_set.fold
     (fun p violated ->
       violated
       ||
-      let sim = Sim.run_to_idle ~fuel st.sim p in
+      let sim = Sim.run_to_idle ~fuel snapshot p in
       let sim, result =
         Sim.run_call ~fuel sim p ~label:Signaling.poll_label
           (st.inst.Signaling.i_poll p)
@@ -464,7 +492,7 @@ let validate_survivors ~fuel st =
 
 (* --- the full construction --- *)
 
-let run (module A : Signaling.POLLING) ~n ?(stability_polls = 3)
+let run (module A : Signaling.POLLING) ~n ?tracer ?(stability_polls = 3)
     ?(max_rounds = 24) ?(fuel = 2_000_000) ?resolution () =
   if A.flexibility.Signaling.signaler_fixed then
     invalid_arg
@@ -475,7 +503,10 @@ let run (module A : Signaling.POLLING) ~n ?(stability_polls = 3)
   let cfg = Signaling.config ~n ~waiters:pids ~signalers:pids in
   let inst = Signaling.instantiate (module A) ctx cfg in
   let layout = Var.Ctx.freeze ctx in
-  let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n in
+  let sim =
+    Sim.with_tracer (Sim.create ~model:(Cost_model.dsm layout) ~layout ~n)
+      tracer
+  in
   let st =
     { sim; active = Pid_set.of_list pids; fin = Pid_set.empty; inst;
       spurious = false }
@@ -526,6 +557,7 @@ let run (module A : Signaling.POLLING) ~n ?(stability_polls = 3)
       | Some s ->
         (* If the signaler is drafted from the stable waiters, it stops
            being a chase target itself. *)
+        decide st ~decision:"signaler" ~pid:s ~detail:"";
         let st = { st with active = Pid_set.remove s st.active } in
         let st', erased, failures = goose_chase ~fuel st s in
         Some (st', s, erased, failures)

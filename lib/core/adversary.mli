@@ -68,6 +68,7 @@ type result = {
 val run :
   (module Signaling.POLLING) ->
   n:int ->
+  ?tracer:Obs.Trace.t ->
   ?stability_polls:int ->
   ?max_rounds:int ->
   ?fuel:int ->
@@ -78,7 +79,15 @@ val run :
     DSM model.  [stability_polls] is the Def. 6.8 horizon: a process is
     declared stable after that many complete solo Poll() calls without an
     RMR.  Raises [Invalid_argument] for algorithms whose signaler is fixed
-    in advance (outside the theorem's scope). *)
+    in advance (outside the theorem's scope).
+
+    With [tracer], the machine emits its usual step/call events and the
+    construction emits one {!Obs.Event.Adversary} decision event per
+    erasure (successful, blocked, and chase variants), roll-forward,
+    round, stabilization, and signaler choice.  Stability probes and
+    survivor validation run on tracer-stripped snapshots, so discarded
+    probe work never appears in the stream; erasure replays are silent by
+    construction ({!Smr.Sim.replay}). *)
 
 val pp_round : round_stat Fmt.t
 val pp_result : result Fmt.t

@@ -1,0 +1,40 @@
+(* Bridges between the observability layer and the Results pipeline: render
+   a scenario outcome and a metrics registry as typed tables, so the CLI's
+   `run` and `trace` subcommands gain --json and CSV for free and their
+   text output goes through the same aligned renderer as the experiment
+   tables. *)
+
+let outcome_table ~algorithm ~model ~n (o : Scenario.outcome) =
+  Results.make ~experiment:"run"
+    ~title:(Printf.sprintf "%s under %s (N=%d)" algorithm model n)
+    ~claim:"Specification 4.1 holds on the recorded history"
+    ~params:
+      Results.
+        [ ("algorithm", text algorithm); ("model", text model); ("n", int n) ]
+    ~columns:
+      Results.
+        [ measure "total_rmrs"; measure "total_messages";
+          measure "participants"; measure "signaler_rmrs";
+          measure "max_waiter_rmrs"; measure "amortized";
+          measure "unfinished"; measure "spec_ok" ]
+    Results.
+      [ [ int o.Scenario.total_rmrs; int o.Scenario.total_messages;
+          int o.Scenario.participants; int o.Scenario.signaler_rmrs;
+          int o.Scenario.max_waiter_rmrs; float o.Scenario.amortized;
+          int o.Scenario.unfinished_waiters;
+          bool (o.Scenario.violations = []) ] ]
+
+let metrics_table ?timing m =
+  let rows = Obs.Metrics.rows ?timing m in
+  Results.make ~experiment:"metrics"
+    ~title:"Metrics derived from the event stream"
+    ~claim:"counters and histograms aggregated from trace events"
+    ~columns:Results.[ param "metric"; param "labels"; measure "value" ]
+    (List.map
+       (fun (r : Obs.Metrics.row) ->
+         Results.
+           [ text r.Obs.Metrics.metric;
+             text (Obs.Metrics.render_labels r.Obs.Metrics.labels);
+             (if r.Obs.Metrics.is_int then int (int_of_float r.Obs.Metrics.value)
+              else float ~digits:6 r.Obs.Metrics.value) ])
+       rows)

@@ -1,0 +1,14 @@
+(** Bridges between the observability layer ({!Obs}) and the typed
+    {!Results} pipeline. *)
+
+val outcome_table :
+  algorithm:string -> model:string -> n:int -> Scenario.outcome -> Results.table
+(** A one-row table of the outcome's accounting (RMRs, messages,
+    participants, amortized cost, spec verdict) — what `separation run`
+    prints, renderable as text, CSV or stable JSON. *)
+
+val metrics_table : ?timing:bool -> Obs.Metrics.t -> Results.table
+(** One row per metric sample, in canonical (metric, labels) order, with
+    histograms expanded Prometheus-style ([_bucket]/[_sum]/[_count]).
+    Wall-time metrics ([*_seconds]) are excluded unless [timing] is true,
+    keeping the default rendering deterministic. *)

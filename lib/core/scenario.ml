@@ -43,12 +43,15 @@ let model_tag_name : model_tag -> string = function
   | `Cc (p, i) ->
     Printf.sprintf "%s/%s" (Cc.protocol_name p) (Cc.interconnect_name i)
 
-let make_model ~n layout : model_tag -> Cost_model.t = function
+let make_model ?tracer ~n layout : model_tag -> Cost_model.t = function
   | `Dsm -> Cost_model.dsm layout
-  | `Cc_wt -> Cc.model ~protocol:Cc.Write_through ~interconnect:Cc.Bus ~n ()
-  | `Cc_wb -> Cc.model ~protocol:Cc.Write_back ~interconnect:Cc.Bus ~n ()
-  | `Cc_lfcu -> Cc.model ~protocol:Cc.Write_update ~interconnect:Cc.Bus ~n ()
-  | `Cc (protocol, interconnect) -> Cc.model ~protocol ~interconnect ~n ()
+  | `Cc_wt ->
+    Cc.model ?tracer ~protocol:Cc.Write_through ~interconnect:Cc.Bus ~n ()
+  | `Cc_wb ->
+    Cc.model ?tracer ~protocol:Cc.Write_back ~interconnect:Cc.Bus ~n ()
+  | `Cc_lfcu ->
+    Cc.model ?tracer ~protocol:Cc.Write_update ~interconnect:Cc.Bus ~n ()
+  | `Cc (protocol, interconnect) -> Cc.model ?tracer ~protocol ~interconnect ~n ()
 
 let summarize cfg sim ~unfinished =
   let calls = Sim.calls sim in
@@ -81,14 +84,16 @@ let summarize cfg sim ~unfinished =
    participate — the partial-participation scenarios of E3/E4, where the
    amortized cost of an O(W)-signaler algorithm blows up because only
    o(W) waiters show up. *)
-let run_phased (module A : Signaling.POLLING) ~model ~cfg ?active_waiters
-    ?(pre_polls = 2) ?(post_poll_bound = 4) ?fuel () =
+let run_phased (module A : Signaling.POLLING) ~model ~cfg ?tracer
+    ?active_waiters ?(pre_polls = 2) ?(post_poll_bound = 4) ?fuel () =
   let inst, layout = build (module A) cfg in
   let participating =
     match active_waiters with Some l -> l | None -> cfg.Signaling.waiters
   in
-  let model = make_model ~n:cfg.Signaling.n layout model in
-  let sim = Sim.create ~model ~layout ~n:cfg.Signaling.n in
+  let model = make_model ?tracer ~n:cfg.Signaling.n layout model in
+  let sim =
+    Sim.with_tracer (Sim.create ~model ~layout ~n:cfg.Signaling.n) tracer
+  in
   let poll sim p =
     Sim.run_call ?fuel sim p ~label:Signaling.poll_label (inst.Signaling.i_poll p)
   in
@@ -135,11 +140,13 @@ let run_phased (module A : Signaling.POLLING) ~model ~cfg ?active_waiters
 (* Randomized: all processes interleave at step granularity; the signaler
    fires once the event clock passes [signal_after].  Waiters poll until
    they see true, then stop. *)
-let run_random (module A : Signaling.POLLING) ~model ~cfg ~seed
+let run_random (module A : Signaling.POLLING) ~model ~cfg ~seed ?tracer
     ?(signal_after = 50) ?(max_events = 200_000) () =
   let inst, layout = build (module A) cfg in
-  let model = make_model ~n:cfg.Signaling.n layout model in
-  let sim = Sim.create ~model ~layout ~n:cfg.Signaling.n in
+  let model = make_model ?tracer ~n:cfg.Signaling.n layout model in
+  let sim =
+    Sim.with_tracer (Sim.create ~model ~layout ~n:cfg.Signaling.n) tracer
+  in
   let is_signaler p = List.mem p cfg.Signaling.signalers in
   let signaled = Hashtbl.create 4 in
   let behavior sim p : Schedule.action =
@@ -172,13 +179,15 @@ let run_random (module A : Signaling.POLLING) ~model ~cfg ~seed
 (* Blocking semantics: waiters call Wait() once — it returns only after a
    Signal() begins — while the signaler fires once the event clock passes
    [signal_after].  Checked against the blocking half of Spec. 4.1. *)
-let run_blocking (module A : Signaling.BLOCKING) ~model ~cfg ~seed
+let run_blocking (module A : Signaling.BLOCKING) ~model ~cfg ~seed ?tracer
     ?(signal_after = 60) ?(max_events = 500_000) () =
   let ctx = Var.Ctx.create () in
   let inst = Signaling.instantiate_blocking (module A) ctx cfg in
   let layout = Var.Ctx.freeze ctx in
-  let model = make_model ~n:cfg.Signaling.n layout model in
-  let sim = Sim.create ~model ~layout ~n:cfg.Signaling.n in
+  let model = make_model ?tracer ~n:cfg.Signaling.n layout model in
+  let sim =
+    Sim.with_tracer (Sim.create ~model ~layout ~n:cfg.Signaling.n) tracer
+  in
   let is_signaler p = List.mem p cfg.Signaling.signalers in
   let signaled = Hashtbl.create 4 in
   let started_wait = Hashtbl.create 16 in

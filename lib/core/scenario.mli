@@ -29,12 +29,16 @@ type model_tag =
 
 val model_tag_name : model_tag -> string
 
-val make_model : n:int -> Var.layout -> model_tag -> Cost_model.t
+val make_model :
+  ?tracer:Obs.Trace.t -> n:int -> Var.layout -> model_tag -> Cost_model.t
+(** With [tracer], CC models emit {!Obs.Event.Cache} coherence events
+    (DSM has no coherence traffic to report). *)
 
 val run_phased :
   (module Signaling.POLLING) ->
   model:model_tag ->
   cfg:Signaling.config ->
+  ?tracer:Obs.Trace.t ->
   ?active_waiters:Op.pid list ->
   ?pre_polls:int ->
   ?post_poll_bound:int ->
@@ -46,13 +50,15 @@ val run_phased :
     each participating waiter polls until it sees true.  [active_waiters]
     restricts which configured waiters participate — the
     partial-participation scenarios where O(W)-signaler algorithms lose
-    amortized O(1). *)
+    amortized O(1).  With [tracer], the machine and the cost model emit
+    the full per-step event stream. *)
 
 val run_random :
   (module Signaling.POLLING) ->
   model:model_tag ->
   cfg:Signaling.config ->
   seed:int ->
+  ?tracer:Obs.Trace.t ->
   ?signal_after:int ->
   ?max_events:int ->
   unit ->
@@ -65,6 +71,7 @@ val run_blocking :
   model:model_tag ->
   cfg:Signaling.config ->
   seed:int ->
+  ?tracer:Obs.Trace.t ->
   ?signal_after:int ->
   ?max_events:int ->
   unit ->

@@ -1,0 +1,13 @@
+(* Monotonic wall clock.
+
+   [Sys.time] is process CPU time: under a domain-parallel search it counts
+   every domain's work and so *over*-reports elapsed time (or under-reports
+   it while workers block), which is exactly the bug this module exists to
+   fix.  [Unix.gettimeofday] is wall time but jumps under NTP adjustment.
+   The bechamel stubs read CLOCK_MONOTONIC, which is both. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let elapsed_s ~since = now_s () -. since

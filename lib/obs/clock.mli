@@ -1,0 +1,16 @@
+(** Monotonic wall clock (CLOCK_MONOTONIC via the bechamel stubs).
+
+    Use this — never [Sys.time], which is process CPU time and misreports
+    elapsed time for domain-parallel work — whenever a duration is
+    measured.  Durations are inherently nondeterministic: keep them out of
+    anything that is byte-compared across runs or [--jobs] levels (the
+    {!Metrics} registry segregates them for exactly that reason). *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary (boot-time) epoch. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds. *)
+
+val elapsed_s : since:float -> float
+(** Seconds elapsed since a {!now_s} reading. *)

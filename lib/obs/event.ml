@@ -1,0 +1,96 @@
+(* The closed trace-event schema; see the .mli.
+
+   Every field is a primitive (int/string/bool) so that this module sits
+   below the simulator: [Smr] and [Core] depend on [Obs], never the other
+   way round.  Emitters translate their own vocabulary (Op.kind, Var.home,
+   cost-model names) into the strings recorded here. *)
+
+type home = Module of int | Shared
+
+let home_label = function
+  | Module p -> Printf.sprintf "p%d" p
+  | Shared -> "shared"
+
+type t =
+  | Op_step of {
+      t : int;
+      pid : int;
+      kind : string;
+      addr : int;
+      var : string;
+      home : home;
+      response : int;
+      wrote : bool;
+      rmr : bool;
+      messages : int;
+      model : string;
+      call_seq : int;
+    }
+  | Call_begin of { t : int; pid : int; label : string; seq : int }
+  | Call_end of {
+      t : int;
+      pid : int;
+      label : string;
+      seq : int;
+      result : int;
+      rmrs : int;
+      steps : int;
+    }
+  | Call_crash of {
+      t : int;
+      pid : int;
+      label : string;
+      seq : int;
+      rmrs : int;
+      steps : int;
+    }
+  | Proc_exit of { t : int; pid : int; crashed : bool }
+  | Cache of {
+      t : int;
+      pid : int;
+      addr : int;
+      action : string;
+      copies : int;
+      messages : int;
+      protocol : string;
+      interconnect : string;
+    }
+  | Adversary of { t : int; decision : string; pid : int; detail : string }
+  | Explore_task of {
+      task : int;
+      t0 : int;
+      t1 : int;
+      states : int;
+      dedup_hits : int;
+      por_prunes : int;
+      histories : int;
+      truncated : int;
+      max_depth : int;
+    }
+  | Runner_span of {
+      t0 : int;
+      t1 : int;
+      experiment : string;
+      tables : int;
+      rows : int;
+    }
+
+let category = function
+  | Op_step _ -> "op"
+  | Call_begin _ | Call_end _ | Call_crash _ -> "call"
+  | Proc_exit _ -> "proc"
+  | Cache _ -> "cache"
+  | Adversary _ -> "adversary"
+  | Explore_task _ -> "explore"
+  | Runner_span _ -> "runner"
+
+let tick = function
+  | Op_step e -> e.t
+  | Call_begin e -> e.t
+  | Call_end e -> e.t
+  | Call_crash e -> e.t
+  | Proc_exit e -> e.t
+  | Cache e -> e.t
+  | Adversary e -> e.t
+  | Explore_task e -> e.t0
+  | Runner_span e -> e.t0

@@ -1,0 +1,31 @@
+(* Minimal JSON string emission shared by the JSONL and Chrome sinks.
+   Hand-rolled for the same reason Core.Results hand-rolls its JSON: the
+   dependency footprint stays tiny and the byte output stays under our
+   control (fixed key order, no float surprises). *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str s = "\"" ^ escape s ^ "\""
+
+let bool b = if b then "true" else "false"
+
+(* Fields are (key, already-rendered value) pairs, emitted in list order. *)
+let obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> str k ^ ":" ^ v) fields)
+  ^ "}"

@@ -1,0 +1,138 @@
+(* Labeled counters and fixed-bucket histograms; see the .mli.
+
+   The registry is a hash table keyed by (metric name, canonically sorted
+   labels); rendering sorts rows, so output order is independent of
+   insertion order.  Histograms expand Prometheus-style into _bucket
+   (cumulative, with an +Inf bucket), _sum and _count rows. *)
+
+type hist = {
+  buckets : float array; (* ascending upper bounds; +Inf implicit *)
+  counts : int array; (* length = Array.length buckets + 1 *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type cell = Counter of int ref | Hist of hist
+
+type key = string * (string * string) list
+
+type t = { tbl : (key, cell) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let canon labels = List.sort compare labels
+
+let incr m ?(by = 1) name ~labels =
+  let key = (name, canon labels) in
+  match Hashtbl.find_opt m.tbl key with
+  | Some (Counter r) -> r := !r + by
+  | Some (Hist _) ->
+    invalid_arg (Printf.sprintf "Metrics.incr %s: registered as a histogram" name)
+  | None -> Hashtbl.add m.tbl key (Counter (ref by))
+
+let default_buckets = [| 0.001; 0.01; 0.1; 1.; 10.; 60. |]
+
+let observe m ?(buckets = default_buckets) name ~labels v =
+  let key = (name, canon labels) in
+  let h =
+    match Hashtbl.find_opt m.tbl key with
+    | Some (Hist h) -> h
+    | Some (Counter _) ->
+      invalid_arg
+        (Printf.sprintf "Metrics.observe %s: registered as a counter" name)
+    | None ->
+      let h =
+        { buckets = Array.copy buckets;
+          counts = Array.make (Array.length buckets + 1) 0;
+          sum = 0.;
+          count = 0 }
+      in
+      Hashtbl.add m.tbl key (Hist h);
+      h
+  in
+  let rec slot i =
+    if i >= Array.length h.buckets then i
+    else if v <= h.buckets.(i) then i
+    else slot (i + 1)
+  in
+  let i = slot 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.count <- h.count + 1
+
+let time m ?buckets name ~labels f =
+  let t0 = Clock.now_s () in
+  let finally () = observe m ?buckets name ~labels (Clock.elapsed_s ~since:t0) in
+  Fun.protect ~finally f
+
+let is_timing name =
+  String.ends_with ~suffix:"_seconds" name
+
+(* --- rendering --- *)
+
+type row = {
+  metric : string;
+  labels : (string * string) list;
+  value : float;
+  is_int : bool;
+}
+
+let bucket_label b =
+  (* A short stable rendering: integral bounds without a trailing ".000". *)
+  if Float.is_integer b && Float.abs b < 1e15 then
+    Printf.sprintf "%.0f" b
+  else Printf.sprintf "%g" b
+
+let rows ?(timing = false) m =
+  let expand ((name, labels), cell) =
+    match cell with
+    | Counter r ->
+      [ { metric = name; labels; value = float_of_int !r; is_int = true } ]
+    | Hist h ->
+      let cumulative = ref 0 in
+      let buckets =
+        List.concat
+          (List.init
+             (Array.length h.counts)
+             (fun i ->
+               cumulative := !cumulative + h.counts.(i);
+               let le =
+                 if i < Array.length h.buckets then bucket_label h.buckets.(i)
+                 else "+Inf"
+               in
+               [ { metric = name ^ "_bucket";
+                   labels = canon (("le", le) :: labels);
+                   value = float_of_int !cumulative;
+                   is_int = true } ]))
+      in
+      buckets
+      @ [ { metric = name ^ "_sum"; labels; value = h.sum; is_int = false };
+          { metric = name ^ "_count";
+            labels;
+            value = float_of_int h.count;
+            is_int = true } ]
+  in
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.tbl []
+  |> List.filter (fun ((name, _), _) -> timing || not (is_timing name))
+  |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
+  |> List.concat_map expand
+
+let total m name =
+  Hashtbl.fold
+    (fun (n, _) cell acc ->
+      if n <> name then acc
+      else
+        match cell with
+        | Counter r -> acc +. float_of_int !r
+        | Hist h -> acc +. h.sum)
+    m.tbl 0.
+
+let pp_labels ppf labels =
+  match labels with
+  | [] -> ()
+  | labels ->
+    Fmt.pf ppf "{%s}"
+      (String.concat ","
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels))
+
+let render_labels labels = Fmt.str "%a" pp_labels labels

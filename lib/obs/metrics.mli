@@ -1,0 +1,62 @@
+(** Labeled counters and fixed-bucket histograms.
+
+    A registry accumulates counters ([rmr_total{model,pid,addr_home}],
+    [coherence_messages_total{interconnect,action}], ...) and histograms
+    with fixed bucket bounds.  Rendering ({!rows}) sorts by (metric,
+    labels), so the output is deterministic regardless of update order,
+    and expands histograms Prometheus-style into [_bucket] (cumulative,
+    with an implicit [+Inf] bucket), [_sum] and [_count] rows.
+
+    {b Timing metrics.}  Metrics whose base name ends in ["_seconds"]
+    record wall-clock durations — inherently nondeterministic — and are
+    excluded from {!rows} unless [~timing:true] is passed, so a rendered
+    metrics table stays byte-identical across runs and [--jobs] levels. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:int -> string -> labels:(string * string) list -> unit
+(** Add [by] (default 1) to the counter [(name, labels)]; labels are
+    canonically sorted, so label order never matters.  Raises
+    [Invalid_argument] if the cell is already a histogram. *)
+
+val default_buckets : float array
+(** Upper bounds for durations in seconds:
+    [[| 0.001; 0.01; 0.1; 1.; 10.; 60. |]]. *)
+
+val observe :
+  t -> ?buckets:float array -> string -> labels:(string * string) list ->
+  float -> unit
+(** Record one observation; [buckets] (ascending upper bounds) takes
+    effect when the histogram cell is first created. *)
+
+val time :
+  t -> ?buckets:float array -> string -> labels:(string * string) list ->
+  (unit -> 'a) -> 'a
+(** Run the thunk and {!observe} its monotonic wall-clock duration —
+    recorded even if the thunk raises. *)
+
+val is_timing : string -> bool
+(** Whether a metric name denotes a wall-clock duration (ends in
+    ["_seconds"]). *)
+
+type row = {
+  metric : string;
+  labels : (string * string) list;
+  value : float;
+  is_int : bool;  (** render as an integer (counters and bucket counts) *)
+}
+
+val rows : ?timing:bool -> t -> row list
+(** Every cell, expanded and sorted by (metric, labels).  [timing]
+    (default [false]) includes the [*_seconds] metrics — leave it off for
+    anything that is byte-compared. *)
+
+val total : t -> string -> float
+(** Sum of a counter over all label sets (histograms contribute their
+    [_sum]).  [0.] if the metric was never touched. *)
+
+val pp_labels : (string * string) list Fmt.t
+val render_labels : (string * string) list -> string
+(** [{k="v",k2="v2"}], or the empty string for no labels. *)

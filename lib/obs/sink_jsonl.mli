@@ -1,0 +1,14 @@
+(** JSONL sink: one JSON object per line, one line per event, fixed key
+    order — byte-stable, greppable, and `jq`-friendly. *)
+
+val line : Event.t -> string
+(** One event as a single JSON line (no trailing newline). *)
+
+val to_string :
+  ?map:((Event.t -> string) -> Event.t list -> string list) ->
+  Event.t list ->
+  string
+(** The whole stream, newline-terminated lines.  [map] (default
+    [List.map]) renders lines and may be an order-preserving parallel map
+    — rendering is per-event pure, so any such map yields identical
+    bytes. *)

@@ -112,7 +112,23 @@ type t = {
   interconnect : interconnect;
   n : int;
   st : state;
+  tracer : Obs.Trace.t option;
 }
+
+(* Cache-line transition events.  Accounting runs *inside* a simulator
+   step, so emission goes through the trace's armed latch: the simulator
+   arms the trace (publishing the current tick) only around the accounting
+   call of a live traced step — erasure replays re-run these closures on a
+   tracerless machine and emit nothing. *)
+let emit_cache t pid a ~action ~copies ~messages =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+    Obs.Trace.emit_if_armed tr
+      (Obs.Event.Cache
+         { t = Obs.Trace.now tr; pid; addr = a; action; copies; messages;
+           protocol = protocol_name t.protocol;
+           interconnect = interconnect_name t.interconnect })
 
 let read_like t pid a =
   if has_copy t.st pid a then
@@ -122,10 +138,13 @@ let read_like t pid a =
     let dirty_elsewhere =
       match owner_of t.st a with Some q -> q <> pid | None -> false
     in
+    let messages = miss_messages ~dirty_elsewhere in
+    emit_cache t pid a ~action:"fetch"
+      ~copies:(if dirty_elsewhere then 1 else 0)
+      ~messages;
     (* The previous owner's line is downgraded to shared on a read miss. *)
     let st = { (add_copy t.st pid a) with owner = Addr_map.remove a t.st.owner } in
-    ( { t with st },
-      { Cost_model.rmr = true; messages = miss_messages ~dirty_elsewhere } )
+    ({ t with st }, { Cost_model.rmr = true; messages })
 
 (* A write-like access that must reach memory and kill/update remote copies. *)
 let write_like ~invalidate t pid a =
@@ -133,6 +152,9 @@ let write_like ~invalidate t pid a =
   let m = List.length remote in
   let base = 1 (* the memory / directory transaction itself *) in
   let messages = base + coherence_messages t.interconnect ~n:t.n ~m in
+  emit_cache t pid a
+    ~action:(if invalidate then "invalidate" else "update")
+    ~copies:m ~messages;
   let st =
     if invalidate then
       List.fold_left (fun st q -> drop_copy st q a) t.st remote
@@ -157,9 +179,10 @@ let account t pid inv ~wrote =
       (* Every mutating primitive must reach memory; a failed comparison
          still performs the global round trip but invalidates nothing. *)
       if wrote then write_like ~invalidate:true t pid a
-      else
+      else (
+        emit_cache t pid a ~action:"roundtrip" ~copies:0 ~messages:1;
         let t, _ = read_like t pid a in
-        (t, { Cost_model.rmr = true; messages = 1 })
+        (t, { Cost_model.rmr = true; messages = 1 }))
   | Write_back ->
     if Op.is_read_only inv then read_like t pid a
     else if owner_of t.st a = Some pid then
@@ -192,7 +215,8 @@ let predict t pid inv =
       if has_copy t.st pid a then None (* local iff it fails *) else Some true
     else Some true
 
-let model ?(protocol = Write_through) ?(interconnect = Bus) ?capacity ~n () =
+let model ?tracer ?(protocol = Write_through) ?(interconnect = Bus) ?capacity
+    ~n () =
   let full_name =
     Printf.sprintf "%s/%s%s" (protocol_name protocol)
       (interconnect_name interconnect)
@@ -207,4 +231,4 @@ let model ?(protocol = Write_through) ?(interconnect = Bus) ?capacity ~n () =
         (wrap t', cost))
       ~predict:(fun pid inv -> predict t pid inv)
   in
-  wrap { protocol; interconnect; n; st = empty capacity }
+  wrap { protocol; interconnect; n; st = empty capacity; tracer }

@@ -24,6 +24,7 @@ type interconnect = Bus | Directory_precise | Directory_limited of int
 val interconnect_name : interconnect -> string
 
 val model :
+  ?tracer:Obs.Trace.t ->
   ?protocol:protocol ->
   ?interconnect:interconnect ->
   ?capacity:int ->
@@ -34,4 +35,8 @@ val model :
     Defaults: [Write_through] over a [Bus] with unbounded ("ideal") caches.
     [capacity] bounds each processor's cache to that many lines with LRU
     eviction — modeling Section 8's remark that real caches drop data
-    spuriously, so the ideal-cache RMR bounds are underestimates (E12). *)
+    spuriously, so the ideal-cache RMR bounds are underestimates (E12).
+    With [tracer], every coherence transition (fetch, invalidate, update,
+    write-through round trip) is emitted as an {!Obs.Event.Cache} event —
+    but only while the owning simulator has armed the trace for a live
+    step, so erasure replays never duplicate cache traffic. *)

@@ -470,11 +470,14 @@ let expand ~por ~property ~scripts ~scripts_pids ~max_steps_per_history
 
 let default_split_depth = 2
 
-let check ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
+let check ?tracer ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
     ?(dedup = true) ?(por = true) ?(jobs = 1)
     ?(split_depth = default_split_depth) ~layout ~model ~n ~scripts ~property
     () =
-  let t0 = Sys.time () in
+  (* Monotonic wall clock, not [Sys.time] (which is CPU time and so *shrinks*
+     relative to elapsed time exactly when [jobs] > 1 parallelizes the search
+     — or inflates, summing across domains, depending on the runtime). *)
+  let t0 = Obs.Clock.now_s () in
   let sim0 = Sim.create ~model ~layout ~n in
   let scripts_pids = List.map fst scripts in
   let split_depth = max 0 split_depth in
@@ -494,14 +497,24 @@ let check ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
           por_prunes;
           tasks = k;
           max_depth;
-          wall_s = Sys.time () -. t0 } }
+          wall_s = Obs.Clock.elapsed_s ~since:t0 } }
+  in
+  let observe result =
+    (match tracer with
+    | None -> ()
+    | Some tr ->
+      Obs.Metrics.observe (Obs.Trace.metrics tr) "explore_wall_seconds"
+        ~labels:[] result.stats.wall_s);
+    result
   in
   match stopped with
   | Some v ->
     (* The expansion itself found a violation or hit the cap; subtree tasks
        are skipped, deterministically. *)
-    finish ~histories:pre_h ~truncated:pre_t ~states:pre_states ~dedup_hits:0
-      ~por_prunes:0 ~tasks:0 ~max_depth:pre_maxd ~violation:v ~capped:(v = None)
+    observe
+      (finish ~histories:pre_h ~truncated:pre_t ~states:pre_states
+         ~dedup_hits:0 ~por_prunes:0 ~tasks:0 ~max_depth:pre_maxd ~violation:v
+         ~capped:(v = None))
   | None ->
     let k = List.length tasks in
     (* Fixed deterministic budget split: task [i] may count at most
@@ -519,20 +532,40 @@ let check ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
             ~max_steps_per_history ~budget:(budget i) task)
         (List.mapi (fun i t -> (i, t)) tasks)
     in
+    (* Task spans are emitted *here*, after the parallel map, in task order,
+       from per-task stats — never from inside worker domains — so the trace
+       is byte-identical for every [jobs].  The span ticks are synthetic:
+       cumulative states explored, a deterministic stand-in for time. *)
+    (match tracer with
+    | None -> ()
+    | Some tr ->
+      ignore
+        (List.fold_left
+           (fun (i, t_acc) s ->
+             let t_end = t_acc + s.s_states in
+             Obs.Trace.emit tr
+               (Obs.Event.Explore_task
+                  { task = i; t0 = t_acc; t1 = t_end; states = s.s_states;
+                    dedup_hits = s.s_dedup; por_prunes = s.s_por;
+                    histories = s.s_histories; truncated = s.s_truncated;
+                    max_depth = s.s_maxd });
+             (i + 1, t_end))
+           (0, pre_states) subs));
     let violation =
       List.find_map (fun s -> s.s_violation) subs (* first in task order *)
     in
     let sum f = List.fold_left (fun acc s -> acc + f s) 0 subs in
-    finish
-      ~histories:(pre_h + sum (fun s -> s.s_histories))
-      ~truncated:(pre_t + sum (fun s -> s.s_truncated))
-      ~states:(pre_states + sum (fun s -> s.s_states))
-      ~dedup_hits:(sum (fun s -> s.s_dedup))
-      ~por_prunes:(sum (fun s -> s.s_por))
-      ~tasks:k
-      ~max_depth:(List.fold_left (fun acc s -> max acc s.s_maxd) pre_maxd subs)
-      ~violation
-      ~capped:(List.exists (fun s -> s.s_capped) subs)
+    observe
+      (finish
+         ~histories:(pre_h + sum (fun s -> s.s_histories))
+         ~truncated:(pre_t + sum (fun s -> s.s_truncated))
+         ~states:(pre_states + sum (fun s -> s.s_states))
+         ~dedup_hits:(sum (fun s -> s.s_dedup))
+         ~por_prunes:(sum (fun s -> s.s_por))
+         ~tasks:k
+         ~max_depth:(List.fold_left (fun acc s -> max acc s.s_maxd) pre_maxd subs)
+         ~violation
+         ~capped:(List.exists (fun s -> s.s_capped) subs))
 
 (* Count interleavings without checking anything (sizing aid).  Dedup and
    POR are off so the count is the literal number of step-level

@@ -43,8 +43,13 @@ type stats = {
   tasks : int;  (** independent subtree tasks the frontier split produced *)
   max_depth : int;  (** deepest step count reached on any branch *)
   wall_s : float;
-      (** elapsed seconds; the only field that varies with [jobs] — keep
-          it out of any byte-comparison *)
+      (** elapsed seconds on the monotonic {e wall} clock ({!Obs.Clock},
+          not [Sys.time], which measures CPU time and is distorted by
+          multi-domain runs); the only field that varies with [jobs] and
+          across hosts — keep it out of any byte-comparison or golden
+          fixture.  Traced runs also record it as the
+          [explore_wall_seconds] histogram, which {!Obs.Metrics.rows}
+          likewise excludes from deterministic output by default. *)
 }
 
 type result = {
@@ -58,6 +63,7 @@ type result = {
 }
 
 val check :
+  ?tracer:Obs.Trace.t ->
   ?max_histories:int ->
   ?max_steps_per_history:int ->
   ?dedup:bool ->
@@ -83,7 +89,13 @@ val check :
 
     [jobs] (default 1) fans the subtree tasks out across domains via
     {!Parallel.map}; every field of the result except [stats.wall_s] is
-    byte-identical for every value. *)
+    byte-identical for every value.
+
+    With [tracer], one {!Obs.Event.Explore_task} span per subtree task is
+    emitted after the parallel phase, in task order, with synthetic ticks
+    (cumulative states explored) — so the trace too is byte-identical for
+    every [jobs].  Wall time goes only into the [explore_wall_seconds]
+    metric, which deterministic renderings exclude. *)
 
 val count :
   ?max_histories:int ->

@@ -47,6 +47,8 @@ type t = {
   steps_by_pid : int Pid_map.t;
   seq_by_pid : int Pid_map.t; (* next call ordinal per process *)
   done_by_pid : int Pid_map.t; (* calls completed (crashed excluded) per process *)
+  ends_rev : (Op.pid * int * bool) list; (* terminations/crashes: pid, tick, crashed *)
+  tracer : Obs.Trace.t option;
 }
 
 exception Replay_divergence of { pid : Op.pid; time : int; detail : string }
@@ -66,7 +68,18 @@ let create ~model ~layout ~n =
     rmr_by_pid = Pid_map.empty;
     steps_by_pid = Pid_map.empty;
     seq_by_pid = Pid_map.empty;
-    done_by_pid = Pid_map.empty }
+    done_by_pid = Pid_map.empty;
+    ends_rev = [];
+    tracer = None }
+
+let tracer t = t.tracer
+
+let with_tracer t tracer = { t with tracer }
+
+(* Observation events are purely additive: on [None] nothing is allocated
+   or computed, which is the zero-cost-when-disabled contract. *)
+let emit_ev t ev =
+  match t.tracer with None -> () | Some tr -> Obs.Trace.emit tr ev
 
 let n t = t.n
 let layout t = t.layout
@@ -140,6 +153,10 @@ let complete_call t p (r : run) result =
       c_rmrs = r.run_rmrs;
       c_steps = r.run_steps }
   in
+  emit_ev t
+    (Obs.Event.Call_end
+       { t = t.clock - 1; pid = p; label = r.label; seq = r.seq;
+         result; rmrs = r.run_rmrs; steps = r.run_steps });
   { t with
     procs = Pid_map.add p Idle t.procs;
     calls_rev = call :: t.calls_rev;
@@ -166,6 +183,8 @@ let begin_call_gen ~record t p ~label program =
   let r =
     { program; label; seq; started = t.clock - 1; run_rmrs = 0; run_steps = 0 }
   in
+  emit_ev t
+    (Obs.Event.Call_begin { t = r.started; pid = p; label; seq });
   match program with
   | Program.Return v -> complete_call t p r v
   | Program.Step _ -> { t with procs = Pid_map.add p (Running r) t.procs }
@@ -196,9 +215,17 @@ let advance_gen ~record ?(check : Op.value option) t p =
                Printf.sprintf "%s responded %d, originally %d"
                  (Op.show_invocation inv) response expected })
     | _ -> ());
+    (* The armed latch lets emitters *inside* the accounting call (the CC
+       model's closures) publish cache events at the right tick; replays run
+       on a tracerless machine and thus never arm, so re-run closures cannot
+       duplicate events. *)
+    (match t.tracer with
+    | Some tr -> Obs.Trace.arm tr ~now:t.clock
+    | None -> ());
     let model, { Cost_model.rmr; messages } =
       Cost_model.account t.model p inv ~wrote
     in
+    (match t.tracer with Some tr -> Obs.Trace.disarm tr | None -> ());
     let t = tick { t with mem = memory; model } in
     let step =
       { History.time = t.clock - 1;
@@ -212,6 +239,23 @@ let advance_gen ~record ?(check : Op.value option) t p =
         messages;
         call_seq = r.seq }
     in
+    emit_ev t
+      (Obs.Event.Op_step
+         { t = step.History.time;
+           pid = p;
+           kind = Op.kind_name (Op.kind inv);
+           addr = Op.addr_of inv;
+           var = Var.layout_name t.layout (Op.addr_of inv);
+           home =
+             (match step.History.home with
+             | Var.Module i -> Obs.Event.Module i
+             | Var.Shared -> Obs.Event.Shared);
+           response;
+           wrote;
+           rmr;
+           messages;
+           model = Cost_model.name model;
+           call_seq = r.seq });
     let r =
       { r with
         run_rmrs = (r.run_rmrs + if rmr then 1 else 0);
@@ -241,7 +285,10 @@ let terminate t p =
   | Terminated -> invalid_arg "Sim.terminate: already terminated");
   let t = { t with trace_rev = E_terminate p :: t.trace_rev } in
   let t = tick t in
-  { t with procs = Pid_map.add p Terminated t.procs }
+  emit_ev t (Obs.Event.Proc_exit { t = t.clock - 1; pid = p; crashed = false });
+  { t with
+    procs = Pid_map.add p Terminated t.procs;
+    ends_rev = (p, t.clock - 1, false) :: t.ends_rev }
 
 (* A crash: the process stops taking steps, possibly mid-call (paper,
    Sec. 2: "a process crashes if it terminates while performing a procedure
@@ -264,9 +311,16 @@ let crash_gen ~record t p =
           c_rmrs = r.run_rmrs;
           c_steps = r.run_steps }
       in
+      emit_ev t
+        (Obs.Event.Call_crash
+           { t = t.clock - 1; pid = p; label = r.label; seq = r.seq;
+             rmrs = r.run_rmrs; steps = r.run_steps });
       { t with calls_rev = call :: t.calls_rev }
   in
-  { t with procs = Pid_map.add p Terminated t.procs }
+  emit_ev t (Obs.Event.Proc_exit { t = t.clock - 1; pid = p; crashed = true });
+  { t with
+    procs = Pid_map.add p Terminated t.procs;
+    ends_rev = (p, t.clock - 1, true) :: t.ends_rev }
 
 let crash t p = crash_gen ~record:true t p
 
@@ -299,6 +353,8 @@ let call_count t p = find_count t.seq_by_pid p
 let completed_count t p = find_count t.done_by_pid p
 
 let last_step t = match t.steps_rev with [] -> None | s :: _ -> Some s
+
+let ends t = List.rev t.ends_rev
 
 (* The outcome of the process's most recent call, pending calls excluded.
    [calls_rev] is newest-first, so the first call of [p] is its latest; a
@@ -355,7 +411,10 @@ let replay ?(check = true) ~keep t =
     | E_crash p -> if keep p then (crash_gen ~record:true sim p, exp) else (sim, exp)
   in
   let sim, _ = List.fold_left step_one (fresh, expected) (trace t) in
-  sim
+  (* The replay itself is silent ([fresh] has no tracer — re-running the
+     surviving steps must not re-emit their events), but the machine that
+     continues from here is still the traced one. *)
+  { sim with tracer = t.tracer }
 
 let erase t pids =
   let doomed = Pid_set.of_list pids in

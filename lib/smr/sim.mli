@@ -28,7 +28,19 @@ and run = {
 exception Replay_divergence of { pid : Op.pid; time : int; detail : string }
 
 val create : model:Cost_model.t -> layout:Var.layout -> n:int -> t
-(** A machine with [n] processes, all idle, memory in its initial state. *)
+(** A machine with [n] processes, all idle, memory in its initial state,
+    and no tracer attached. *)
+
+val tracer : t -> Obs.Trace.t option
+
+val with_tracer : t -> Obs.Trace.t option -> t
+(** The same machine with a different (or no) tracer attached.  While a
+    tracer is attached, every call begin/end, executed step, crash and
+    termination is emitted as an {!Obs.Event.t} keyed by the logical
+    clock; with no tracer, instrumentation costs nothing.  Erasure
+    replays are always silent (re-running surviving steps does not
+    re-emit their events), and [None] silences observation on throwaway
+    snapshots such as the adversary's stability probes. *)
 
 val n : t -> int
 val layout : t -> Var.layout
@@ -106,6 +118,11 @@ val completed_count : t -> Op.pid -> int
 
 val last_step : t -> History.step option
 (** The most recently executed step, if any.  O(1). *)
+
+val ends : t -> (Op.pid * int * bool) list
+(** Terminations and crashes in chronological order: process, the tick at
+    which it stopped, and whether it crashed ([true]) or terminated
+    cleanly ([false]). *)
 
 val last_result : t -> Op.pid -> Op.value option
 (** Outcome of the process's most recent completed-or-crashed call: the

@@ -42,6 +42,9 @@ let render ?(width = 9) sim =
       | Some t, None -> put t c.History.c_pid ")"
       | None, _ -> ())
     (Sim.calls sim);
+  (* Terminations and crashes occupy their own tick, so '#' never
+     overwrites a step or call cell. *)
+  List.iter (fun (pid, time, _crashed) -> put time pid "#") (Sim.ends sim);
   let buf = Buffer.create 1024 in
   let pad s =
     let s = if String.length s > width then String.sub s 0 width else s in

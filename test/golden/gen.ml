@@ -24,7 +24,20 @@ let fixtures =
         let commute = Analysis.Commute_check.run () in
         Core.Results.to_json_many
           [ Core.Lint_catalog.lint_table reports;
-            Core.Lint_catalog.commute_table commute ] ) ]
+            Core.Lint_catalog.commute_table commute ] );
+    ( "test/golden/trace_cc_flag.jsonl",
+      (* Byte-identical to `separation trace -a cc-flag -n 4 --format
+         jsonl`, so CI can diff the command's raw output against this
+         file; test_trace.ml pins the same bytes from the library side. *)
+      fun () ->
+        let m = Option.get (Core.Experiment.find_algorithm "cc-flag") in
+        let module A = (val m : Core.Signaling.POLLING) in
+        let tr = Obs.Trace.create () in
+        let cfg = Core.Experiment.config_for m ~n:4 in
+        let _ =
+          Core.Scenario.run_phased (module A) ~model:`Dsm ~cfg ~tracer:tr ()
+        in
+        Obs.Sink_jsonl.to_string (Obs.Trace.events tr) ) ]
 
 let () =
   List.iter

@@ -23,4 +23,6 @@ let () =
       ("ablation", Test_ablation.suite);
       ("report", Test_report.suite);
       ("lint", Test_lint.suite);
-      ("experiments", Test_experiments.suite) ]
+      ("experiments", Test_experiments.suite);
+      ("timeline", Test_timeline.suite);
+      ("trace", Test_trace.suite) ]

@@ -1,0 +1,75 @@
+(* Golden-pinned ASCII rendering of Timeline: a small deterministic run
+   and a crashed-call run exercising the '#' termination marker. *)
+
+open Smr
+open Test_util
+
+let test_small_run_golden () =
+  (* Two processes over one shared flag: p1 writes 5, then p0 reads it.
+     Under DSM both touch a Shared-homed word, so both steps are RMRs. *)
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n:2 in
+  let sim, _ =
+    Sim.run_call sim 1 ~label:"set" (Program.step (Op.Write (Var.addr x, 5)))
+  in
+  let sim, v =
+    Sim.run_call sim 0 ~label:"get" (Program.step (Op.Read (Var.addr x)))
+  in
+  check_int "p0 read p1's write" 5 v;
+  let expected =
+    "t        p0       p1       \n\
+     0        .        (set     \n\
+     1        .        w0*      \n\
+     2        .        )=0      \n\
+     3        (get     .        \n\
+     4        r0*      .        \n\
+     5        )=5      .        \n"
+  in
+  Alcotest.(check string) "small run renders to the golden grid" expected
+    (Timeline.render sim)
+
+let test_crash_marker_golden () =
+  (* p0 crashes mid-call: the call cell stays open (no ')=') and the
+     crash tick carries the '#' marker on its own row.  p1 terminates
+     cleanly after finishing, which also renders '#'. *)
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n:2 in
+  let sim =
+    Sim.begin_call sim 0 ~label:"doomed"
+      Program.Syntax.(
+        let* _ = Program.read x in
+        Program.step (Op.Read (Var.addr x)))
+  in
+  let sim = Sim.advance sim 0 in
+  let sim = Sim.crash sim 0 in
+  let sim, _ =
+    Sim.run_call sim 1 ~label:"ok" (Program.step (Op.Read (Var.addr x)))
+  in
+  let sim = Sim.terminate sim 1 in
+  let rendered = Timeline.render sim in
+  let expected =
+    "t        p0       p1       \n\
+     0        (doomed  .        \n\
+     1        r0*      .        \n\
+     2        #        .        \n\
+     3        .        (ok      \n\
+     4        .        r0*      \n\
+     5        .        )=0      \n\
+     6        .        #        \n"
+  in
+  Alcotest.(check string) "crash and termination render as '#'" expected
+    rendered;
+  check_true "ends records the crash"
+    (List.mem (0, 2, true) (Sim.ends sim));
+  check_true "ends records the clean exit"
+    (List.mem (1, 6, false) (Sim.ends sim))
+
+let suite =
+  [
+    case "small run golden" test_small_run_golden;
+    case "crash marker golden" test_crash_marker_golden;
+  ]

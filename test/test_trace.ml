@@ -1,0 +1,228 @@
+(* Observability layer: traces are deterministic, never perturb the run
+   they observe, and their derived metrics agree with the scenario's own
+   accounting. *)
+
+open Smr
+open Test_util
+
+let alg name = Option.get (Core.Experiment.find_algorithm name)
+
+(* Run one phased scenario with a fresh trace attached; return both. *)
+let traced ?(model = `Dsm) ?(n = 4) name =
+  let m = alg name in
+  let module A = (val m : Core.Signaling.POLLING) in
+  let tr = Obs.Trace.create () in
+  let cfg = Core.Experiment.config_for m ~n in
+  let o = Core.Scenario.run_phased (module A) ~model ~cfg ~tracer:tr () in
+  (tr, o)
+
+let untraced ?(model = `Dsm) ?(n = 4) name =
+  let m = alg name in
+  let module A = (val m : Core.Signaling.POLLING) in
+  let cfg = Core.Experiment.config_for m ~n in
+  Core.Scenario.run_phased (module A) ~model ~cfg ()
+
+(* --- acceptance: metrics agree with the scenario's accounting --- *)
+
+let test_rmr_total_matches_outcome () =
+  List.iter
+    (fun (name, model, tag) ->
+      let tr, o = traced ~model name in
+      let total =
+        Obs.Metrics.total (Obs.Trace.metrics tr) "rmr_total"
+      in
+      check_int
+        (Printf.sprintf "%s/%s: sum of rmr_total over labels = total_rmrs"
+           name tag)
+        o.Core.Scenario.total_rmrs (int_of_float total))
+    [ ("cc-flag", `Dsm, "dsm"); ("cc-flag", `Cc_wt, "cc-wt");
+      ("dsm-broadcast", `Dsm, "dsm"); ("dsm-queue", `Cc_wb, "cc-wb") ]
+
+let test_messages_total_matches_outcome () =
+  let tr, o = traced ~model:`Cc_wt "cc-flag" in
+  check_int "sum of messages_total = total_messages"
+    o.Core.Scenario.total_messages
+    (int_of_float (Obs.Metrics.total (Obs.Trace.metrics tr) "messages_total"))
+
+(* --- acceptance: observation never perturbs the run --- *)
+
+let test_tracing_does_not_perturb () =
+  List.iter
+    (fun (name, model) ->
+      let _, o = traced ~model name in
+      let o' = untraced ~model name in
+      check_int "total_rmrs unchanged" o'.Core.Scenario.total_rmrs
+        o.Core.Scenario.total_rmrs;
+      check_int "total_messages unchanged" o'.Core.Scenario.total_messages
+        o.Core.Scenario.total_messages;
+      check_true "identical step-level history"
+        (Sim.steps o.Core.Scenario.sim = Sim.steps o'.Core.Scenario.sim);
+      check_true "no violations introduced"
+        (o.Core.Scenario.violations = o'.Core.Scenario.violations))
+    [ ("cc-flag", `Dsm); ("cc-flag", `Cc_wt); ("dsm-broadcast", `Dsm) ]
+
+(* --- determinism: rendering is independent of the parallel map --- *)
+
+let test_render_jobs_deterministic () =
+  let tr, _ = traced ~model:`Cc_wt "cc-flag" in
+  let evs = Obs.Trace.events tr in
+  let pmap f xs = Core.Parallel.map ~jobs:2 f xs in
+  Alcotest.(check string) "jsonl identical under parallel map"
+    (Obs.Sink_jsonl.to_string evs)
+    (Obs.Sink_jsonl.to_string ~map:pmap evs);
+  Alcotest.(check string) "chrome identical under parallel map"
+    (Obs.Sink_chrome.to_string evs)
+    (Obs.Sink_chrome.to_string ~map:pmap evs);
+  Alcotest.(check string) "text identical under parallel map"
+    (Obs.Sink_text.to_string evs)
+    (Obs.Sink_text.to_string ~map:pmap evs)
+
+(* --- golden: the JSONL stream is pinned byte-for-byte --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_jsonl_golden () =
+  (* Must match `separation trace -a cc-flag -n 4 --format jsonl` (CI
+     diffs the CLI output against the same fixture).  Regenerate with
+     `dune exec test/golden/gen.exe` after an intentional schema change. *)
+  let tr, _ = traced ~model:`Dsm ~n:4 "cc-flag" in
+  Alcotest.(check string) "trace_cc_flag.jsonl byte-identical"
+    (read_file "golden/trace_cc_flag.jsonl")
+    (Obs.Sink_jsonl.to_string (Obs.Trace.events tr))
+
+(* --- schema coverage per instrumented layer --- *)
+
+let count_by pred tr = List.length (List.filter pred (Obs.Trace.events tr))
+
+let test_cc_emits_cache_events () =
+  let tr, _ = traced ~model:`Cc_wt "cc-flag" in
+  let caches =
+    count_by (function Obs.Event.Cache _ -> true | _ -> false) tr
+  in
+  check_true "write-through bus run emits coherence events" (caches > 0);
+  check_true "coherence_messages_total accumulated"
+    (Obs.Metrics.total (Obs.Trace.metrics tr) "coherence_messages_total" > 0.);
+  (* DSM has no coherence traffic to report. *)
+  let tr', _ = traced ~model:`Dsm "cc-flag" in
+  check_int "dsm run emits no cache events" 0
+    (count_by (function Obs.Event.Cache _ -> true | _ -> false) tr')
+
+let test_call_events_balanced () =
+  let tr, o = traced ~model:`Dsm "cc-flag" in
+  let begins =
+    count_by (function Obs.Event.Call_begin _ -> true | _ -> false) tr
+  and ends =
+    count_by (function Obs.Event.Call_end _ -> true | _ -> false) tr
+  and crashes =
+    count_by (function Obs.Event.Call_crash _ -> true | _ -> false) tr
+  in
+  check_int "every call that begins ends (crash-free run)" begins
+    (ends + crashes);
+  check_int "no crashes in a phased run" 0 crashes;
+  check_int "one call record per begin event" begins
+    (List.length (Sim.calls o.Core.Scenario.sim))
+
+let test_adversary_traced () =
+  let m = alg "cc-flag" in
+  let module A = (val m : Core.Signaling.POLLING) in
+  let tr = Obs.Trace.create () in
+  let r = Core.Adversary.run (module A) ~n:8 ~tracer:tr ~max_rounds:6 () in
+  check_false "construction ran clean" r.Core.Adversary.spec_violated;
+  check_true "adversary decisions recorded"
+    (count_by (function Obs.Event.Adversary _ -> true | _ -> false) tr > 0);
+  check_true "decision counters accumulated"
+    (Obs.Metrics.total (Obs.Trace.metrics tr) "adversary_decisions_total" > 0.);
+  (* Erasure replays re-execute surviving steps on a silent machine: the
+     trace keeps the live (pre-erasure) stream and gains no duplicates,
+     so it can only hold at least as many op events as surviving steps. *)
+  check_true "no duplicate op events from replay"
+    (count_by (function Obs.Event.Op_step _ -> true | _ -> false) tr
+    >= List.length (Sim.steps r.Core.Adversary.final_sim))
+
+let small_explore ~tracer ~jobs =
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let incr_x =
+    Program.Syntax.(
+      let* v = Program.read x in
+      let* () = Program.write x (v + 1) in
+      Program.return (v + 1))
+  in
+  Explore.check ?tracer ~jobs ~layout
+    ~model:(Cost_model.dsm layout) ~n:2
+    ~scripts:
+      [ (0, Explore.of_list [ ("inc", incr_x) ]);
+        (1, Explore.of_list [ ("inc", incr_x) ]) ]
+    ~property:(fun _ -> true) ()
+
+let test_explore_spans () =
+  let tr = Obs.Trace.create () in
+  let r = small_explore ~tracer:(Some tr) ~jobs:1 in
+  let spans =
+    List.filter
+      (function Obs.Event.Explore_task _ -> true | _ -> false)
+      (Obs.Trace.events tr)
+  in
+  check_int "one span per subtree task" r.Explore.stats.Explore.tasks
+    (List.length spans);
+  (* Spans are emitted post-parallel in task order with synthetic ticks,
+     so the stream is identical at any jobs level. *)
+  let tr2 = Obs.Trace.create () in
+  let _ = small_explore ~tracer:(Some tr2) ~jobs:2 in
+  check_true "explore trace byte-identical across jobs"
+    (Obs.Sink_jsonl.to_string (Obs.Trace.events tr)
+    = Obs.Sink_jsonl.to_string (Obs.Trace.events tr2))
+
+let test_runner_spans () =
+  let specs =
+    [ Core.Experiment_registry.find_exn "e1";
+      Core.Experiment_registry.find_exn "e5" ]
+  in
+  let tr = Obs.Trace.create () in
+  let outcomes =
+    Core.Runner.run ~jobs:1 ~tracer:tr ~size:Core.Experiment_def.Reduced specs
+  in
+  let spans =
+    List.filter_map
+      (function
+        | Obs.Event.Runner_span { experiment; _ } -> Some experiment
+        | _ -> None)
+      (Obs.Trace.events tr)
+  in
+  Alcotest.(check (list string)) "one span per experiment, in spec order"
+    [ "e1"; "e5" ] spans;
+  check_int "outcomes match specs" 2 (List.length outcomes)
+
+(* --- the latch: a disabled trace stays empty, a detached sim is silent --- *)
+
+let test_disabled_is_silent () =
+  let o = untraced "cc-flag" in
+  check_true "untraced sim holds no tracer"
+    (Sim.tracer o.Core.Scenario.sim = None);
+  let tr = Obs.Trace.create () in
+  Obs.Trace.emit_if_armed tr
+    (Obs.Event.Adversary { t = 0; decision = "x"; pid = 0; detail = "" });
+  check_int "emit_if_armed without arm drops the event" 0
+    (Obs.Trace.length tr)
+
+let suite =
+  [
+    case "rmr_total sums to outcome total_rmrs" test_rmr_total_matches_outcome;
+    case "messages_total sums to outcome total_messages"
+      test_messages_total_matches_outcome;
+    case "tracing does not perturb the run" test_tracing_does_not_perturb;
+    case "sink rendering independent of parallel map"
+      test_render_jobs_deterministic;
+    case "jsonl golden fixture" test_jsonl_golden;
+    case "cc models emit cache events, dsm none" test_cc_emits_cache_events;
+    case "call begin/end events balanced" test_call_events_balanced;
+    case "adversary decisions traced, replays silent" test_adversary_traced;
+    case "explore spans per task, jobs-deterministic" test_explore_spans;
+    case "runner spans in spec order" test_runner_spans;
+    case "disabled tracing is silent" test_disabled_is_silent;
+  ]
