@@ -180,6 +180,18 @@ let micro_benches =
     bench_adversary_horizon 1; bench_adversary_horizon 3;
     bench_adversary_horizon 6 ]
 
+let estimate_ns instance raw =
+  match
+    Analyze.one
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      instance raw
+  with
+  | ols -> (
+    match Analyze.OLS.estimates ols with
+    | Some [ ns ] -> Some ns
+    | Some _ | None -> None)
+  | exception _ -> None
+
 let run_benchmarks () =
   let instance = Instance.monotonic_clock in
   let cfg =
@@ -192,18 +204,107 @@ let run_benchmarks () =
       let results = Benchmark.all cfg [ instance ] test in
       Hashtbl.iter
         (fun name raw ->
-          match Analyze.one (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instance raw with
-          | ols -> (
-            match Analyze.OLS.estimates ols with
-            | Some [ ns ] -> Fmt.pr "  %-40s %12.0f ns/run@." name ns
-            | Some _ | None -> Fmt.pr "  %-40s (no estimate)@." name)
-          | exception _ -> Fmt.pr "  %-40s (analysis failed)@." name)
+          match estimate_ns instance raw with
+          | Some ns -> Fmt.pr "  %-40s %12.0f ns/run@." name ns
+          | None -> Fmt.pr "  %-40s (no estimate)@." name)
         results)
     tests
+
+(* --- machine-readable perf baseline (--json) --- *)
+
+(* The substrate microbenchmarks at a quick quota, one row per subject.
+   Subjects are sorted by name: the bechamel result table iterates in hash
+   order, and the JSON document must be schema-stable run to run (the
+   VALUES are wall-clock measurements and of course vary — CI asserts the
+   shape, never the numbers). *)
+let micro_json_table () =
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:100 ~quota:(Time.second 0.1) ~stabilize:false ()
+  in
+  let rows =
+    List.concat_map
+      (fun test ->
+        let results = Benchmark.all cfg [ instance ] test in
+        Hashtbl.fold
+          (fun name raw acc ->
+            match estimate_ns instance raw with
+            | Some ns -> (name, ns) :: acc
+            | None -> acc)
+          results [])
+      micro_benches
+    |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+  in
+  Core.Results.make ~experiment:"bench" ~part:"micro"
+    ~title:"Substrate microbenchmarks (bechamel, quick quota)"
+    ~claim:"wall-clock cost per run of the simulator substrate"
+    ~columns:Core.Results.[ param "subject"; measure "ns_per_run" ]
+    (List.map
+       (fun (name, ns) -> Core.Results.[ text name; float ~digits:0 ns ])
+       rows)
+
+(* Explorer throughput on the reference configuration of the perf work
+   (cc-flag, N=4, three waiters, two polls) — the states/second figure the
+   allocation-lean search is judged by, at one and two domains. *)
+let explore_json_table () =
+  let open Smr in
+  let m = Option.get (Core.Experiment.find_algorithm "cc-flag") in
+  let module A = (val m : Core.Signaling.POLLING) in
+  let n = 4 and polls = 2 in
+  let waiter_pids = [ 1; 2; 3 ] in
+  let ctx = Var.Ctx.create () in
+  let cfg = Core.Signaling.config ~n ~waiters:waiter_pids ~signalers:[ 0 ] in
+  let inst = Core.Signaling.instantiate (module A) ctx cfg in
+  let layout = Var.Ctx.freeze ctx in
+  let scripts =
+    ( 0,
+      Explore.of_list
+        [ (Core.Signaling.signal_label, inst.Core.Signaling.i_signal 0) ] )
+    :: List.map
+         (fun w ->
+           ( w,
+             Explore.repeat ~limit:polls
+               ~until:(fun r -> r = 1)
+               (Core.Signaling.poll_label, inst.Core.Signaling.i_poll w) ))
+         waiter_pids
+  in
+  let row jobs =
+    let r =
+      Explore.check ~jobs ~layout ~model:(Cost_model.dsm layout) ~n ~scripts
+        ~property:Core.Signaling.polling_ok ()
+    in
+    let wall = r.Explore.stats.Explore.wall_s in
+    let states = r.Explore.stats.Explore.states in
+    Core.Results.
+      [ int jobs; int states; float ~digits:4 wall;
+        float ~digits:0 (float_of_int states /. Float.max wall 1e-9);
+        int r.Explore.histories; bool r.Explore.complete ]
+  in
+  Core.Results.make ~experiment:"bench" ~part:"explore"
+    ~title:
+      (Printf.sprintf "Explorer throughput, %s N=%d %d waiters %d polls"
+         A.name n (List.length waiter_pids) polls)
+    ~claim:"states/second of the exhaustive search, reference configuration"
+    ~params:
+      Core.Results.
+        [ ("algorithm", text A.name); ("n", int n);
+          ("waiters", int (List.length waiter_pids)); ("polls", int polls) ]
+    ~columns:
+      Core.Results.
+        [ param "jobs"; measure "states"; measure "wall_s";
+          measure "states_per_sec"; measure "histories"; measure "complete" ]
+    [ row 1; row 2 ]
+
+(* Stdout is the JSON document, nothing else: `bench --json > BENCH_N.json`
+   must produce a valid file (see README, "Perf baseline"). *)
+let run_json () =
+  print_string
+    (Core.Results.to_json_many [ micro_json_table (); explore_json_table () ])
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
+  | [ "--json" ] -> run_json ()
   | [ "bench-only" ] -> run_benchmarks ()
   | [] ->
     print_tables [];

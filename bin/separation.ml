@@ -164,7 +164,7 @@ let explore_cmd =
     let r =
       Explore.check ~max_histories:cap ~dedup:(not no_dedup) ~por:(not no_por)
         ~jobs ~layout ~model:(Cost_model.dsm layout) ~n ~scripts
-        ~property:(fun sim -> Core.Signaling.check_polling (Sim.calls sim) = [])
+        ~property:Core.Signaling.polling_ok
         ()
     in
     (* The table carries only jobs-invariant facts: jobs and wall time stay
@@ -215,6 +215,24 @@ let explore_cmd =
         List.iter
           (fun v -> Fmt.pr "  %a@." Core.Signaling.pp_violation v)
           (Core.Signaling.check_polling (Sim.calls sim));
+        (* The search ran lean (no per-step records), which is enough to
+           name the violated clauses above but leaves the step cells out
+           of the timeline.  The search is deterministic, so re-running it
+           with full history reaches the same first violation — pay that
+           cost only on the failure path, to render it. *)
+        let sim =
+          if not (Sim.is_lean sim) then sim
+          else
+            match
+              (Explore.check ~max_histories:cap ~dedup:(not no_dedup)
+                 ~por:(not no_por) ~lean:false ~jobs ~layout
+                 ~model:(Cost_model.dsm layout) ~n ~scripts
+                 ~property:Core.Signaling.polling_ok ())
+                .Explore.violation
+            with
+            | Some sim -> sim
+            | None -> sim
+        in
         Smr.Timeline.print sim
     end
   in

@@ -85,6 +85,16 @@ val check_polling : History.call list -> violation list
 val check_blocking : History.call list -> violation list
 (** A completed [Wait] must follow the start of some [Signal]. *)
 
+val polling_ok : Smr.Sim.t -> bool
+(** Verdict-equivalent to [check_polling (Sim.calls sim) = []], in one
+    O(calls) pass with no list materialized — the form the model checker
+    evaluates at every completion of every explored interleaving.  Use
+    [check_polling] when the actual violations are to be reported. *)
+
+val blocking_ok : Smr.Sim.t -> bool
+(** Verdict-equivalent to [check_blocking (Sim.calls sim) = []]; see
+    {!polling_ok}. *)
+
 (** {1 Instantiation} *)
 
 val validate_config : flexibility -> config -> (unit, string) result

@@ -64,7 +64,11 @@ let owner_of st a = Addr_map.find_opt a st.owner
    ownership — the writeback itself is charged when the line is next
    accessed remotely. *)
 let add_copy st pid a =
-  let cache = a :: List.filter (fun b -> b <> a) (cache_of st pid) in
+  let cache0 = cache_of st pid in
+  match cache0 with
+  | b :: _ when b = a -> st (* already most-recently-used: nothing moves *)
+  | _ ->
+  let cache = a :: List.filter (fun b -> b <> a) cache0 in
   let cache, evicted =
     match st.capacity with
     | Some cap when List.length cache > cap ->
@@ -132,8 +136,11 @@ let emit_cache t pid a ~action ~copies ~messages =
 
 let read_like t pid a =
   if has_copy t.st pid a then
-    (* A hit still refreshes the line's recency (true LRU). *)
-    ({ t with st = add_copy t.st pid a }, Cost_model.local)
+    (* A hit still refreshes the line's recency (true LRU); when the line
+       is already most-recently-used the state is returned physically
+       unchanged, so spin reads cost no allocation at all. *)
+    let st = add_copy t.st pid a in
+    ((if st == t.st then t else { t with st }), Cost_model.local)
   else
     let dirty_elsewhere =
       match owner_of t.st a with Some q -> q <> pid | None -> false
@@ -188,7 +195,8 @@ let account t pid inv ~wrote =
     else if owner_of t.st a = Some pid then
       (* Exclusive owner: the access completes in-cache (and refreshes
          recency). *)
-      ({ t with st = add_copy t.st pid a }, Cost_model.local)
+      let st = add_copy t.st pid a in
+      ((if st == t.st then t else { t with st }), Cost_model.local)
     else
       (* Acquire exclusivity (even for a comparison that then fails: the
          line must be owned for the atomic to be applied). *)
@@ -224,11 +232,9 @@ let model ?tracer ?(protocol = Write_through) ?(interconnect = Bus) ?capacity
       | Some c -> Printf.sprintf "/cap%d" c
       | None -> "")
   in
-  let rec wrap t =
-    Cost_model.make ~name:full_name
-      ~account:(fun pid inv ~wrote ->
-        let t', cost = account t pid inv ~wrote in
-        (wrap t', cost))
-      ~predict:(fun pid inv -> predict t pid inv)
-  in
-  wrap { protocol; interconnect; n; st = empty capacity; tracer }
+  (* [make_stateful] shares the wrapper across steps that leave the cache
+     state physically unchanged, so the hits fast-pathed above (spin reads
+     of an MRU line, owned write-back writes, failed cached LFCU
+     comparisons) allocate nothing — the explorer's stepping hot path. *)
+  Cost_model.make_stateful ~name:full_name ~account ~predict
+    { protocol; interconnect; n; st = empty capacity; tracer }

@@ -23,6 +23,27 @@ let predict t pid inv = t.predict pid inv
 
 let make ~name ~account ~predict = { name; account; predict }
 
+(* Wrap an explicit-state model.  The wrapper for a given state is built
+   once and reused whenever accounting leaves the state physically
+   unchanged — on allocation-sensitive paths (the explorer steps through
+   millions of cache hits) a no-op step then allocates nothing at all,
+   which a naive [make]-based knot cannot achieve: it must re-wrap every
+   successor.  State functions should therefore return their input state
+   physically ([==]) whenever a step changes nothing. *)
+let make_stateful ~name ~account ~predict s0 =
+  let rec wrap s =
+    let rec self =
+      { name;
+        account =
+          (fun pid inv ~wrote ->
+            let s', cost = account s pid inv ~wrote in
+            ((if s' == s then self else wrap s'), cost));
+        predict = (fun pid inv -> predict s pid inv) }
+    in
+    self
+  in
+  wrap s0
+
 (* DSM (paper, Sec. 2): an access is an RMR iff the address is homed in
    another processor's memory module.  Classification is purely static, which
    is what lets the adversary peek at "next RMRs" exactly. *)

@@ -31,6 +31,19 @@ val make :
 (** Build a model from its accounting function; the function returns the
     successor model, making custom models persistent by construction. *)
 
+val make_stateful :
+  name:string ->
+  account:('s -> Op.pid -> Op.invocation -> wrote:bool -> 's * step_cost) ->
+  predict:('s -> Op.pid -> Op.invocation -> bool option) ->
+  's ->
+  t
+(** Build a model from an explicit state and a state-transforming
+    accounting function.  The wrapper is shared across steps that leave
+    the state {e physically} unchanged, so a no-op step (e.g. a cache hit
+    that moves nothing) allocates nothing — the property the explorer's
+    stepping hot path relies on.  Accounting functions should return their
+    input state ([==]) whenever a step changes nothing. *)
+
 val dsm : Var.layout -> t
 (** The DSM model: an access is an RMR iff the address lives in another
     processor's memory module; every RMR is one interconnect message. *)

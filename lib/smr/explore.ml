@@ -36,9 +36,28 @@
 
    - Deterministic frontier parallelism.  The first [split_depth] levels
      are expanded sequentially into independent subtree tasks which fan
-     out across domains via [Parallel.map]; each task owns a private
-     visited table and a fixed slice of the history budget, so the merged
-     verdict is byte-identical for every job count.
+     out across domains via [Parallel.map]'s shared atomic task queue;
+     each task owns a private visited table and draws its history budget
+     as chunked leases from a shared atomic pool, and a reconciliation
+     pass in task order then restores the canonical sequential
+     accounting, so the merged verdict is byte-identical for every job
+     count.
+
+   Three further constant-factor decisions keep the per-state cost flat
+   (see docs/MODEL.md, "Exploration fast path"):
+
+   - The machine steps in [Sim.lean_mode]: no per-step history records and
+     no replayable trace are accumulated — the property contract below
+     consumes only call records and counters, and those are all kept.
+
+   - Memory identity is decided through [Memory.fp_hash], a running
+     behavioral hash maintained incrementally per operation, so
+     fingerprinting a state is O(running calls), not O(cells); the
+     structural comparison ([Memory.same_fingerprint]) runs only to
+     confirm a hash match.
+
+   - Fingerprints are interned ([Fp_intern]) to dense small ints, so the
+     visited table keys, hashes and compares on ints.
 
    Dedup and POR assume (and [check]'s documentation requires) that the
    property judges each call, at its completion, from the call's own
@@ -49,7 +68,6 @@
    reductions can be switched off, which restores the seed checker's
    exact leaf-per-interleaving semantics ([count] does exactly that). *)
 
-module Pid_map = Sim.Pid_map
 module Pid_set = Sim.Pid_set
 
 (* What a process does between calls: a PURE function of the machine state
@@ -96,19 +114,64 @@ type move =
   | M_advance of Op.invocation (* the process's pending operation *)
   | M_begin of string * Op.value Program.t
 
+(* --- per-process search metadata --- *)
+
+(* Per-running-call metadata the fingerprint needs but the simulator does
+   not keep: the responses received so far inside the call (they determine
+   the continuation of a deterministic program) and the completed-call
+   counts of every scripted process at the call's start (they determine
+   how interval-order properties will judge the call once it completes). *)
+type call_meta = {
+  program : Op.value Program.t;
+      (* the call's remaining program, advanced in lockstep with the
+         machine — it yields the pending invocation and the continuation
+         without querying the machine at every node *)
+  label : string;
+  label_h : int; (* [Hashtbl.hash label], computed once at the begin *)
+  seq : int; (* the call's per-process ordinal *)
+  begun : int; (* calls this process has begun, this one included *)
+  resps_rev : Op.value list;
+  resps_len : int; (* [List.length resps_rev], maintained incrementally *)
+  resps_h : int; (* rolling hash of [resps_rev], maintained incrementally *)
+  snap : int array;
+      (* per-process completed-call counts (indexed by pid) at this call's
+         start: they decide which completions precede the call in the
+         interval order.  Begun counts are deliberately absent —
+         began-before-began is not an interval-order relation, and
+         omitting them lets states that differ only in the order of
+         concurrent call starts merge.  Never mutated after creation. *)
+}
+
+(* One entry per process, indexed by pid (pids are dense: [Sim.create ~n]
+   numbers them [0..n-1]).  The explorer never terminates or crashes a
+   process (a script that answers [None] just stops producing moves), so
+   idle-with-history and running are the only control points — and every
+   fact the fingerprint and the move enumeration need is maintained here
+   incrementally, instead of being re-queried from the machine's maps at
+   every search node.  The array is copy-on-write: [apply_move] copies,
+   nothing ever mutates an existing array — each one is retained as part
+   of its state's interned fingerprint.  Unscripted processes stay
+   [P_idle (0, None)] forever; their contribution to every fingerprint is
+   the same constant, so including them changes no state equivalence. *)
+type pmeta =
+  | P_idle of int * Op.value option (* calls begun, last result *)
+  | P_running of call_meta
+
+let meta0 n = Array.make n (P_idle (0, None))
+
 (* Enabled moves in script order: advance if mid-call, else begin whatever
    the script asks for next.  A process whose script answers [None] is
-   done. *)
-let moves scripts sim =
+   done.  Running processes never touch the machine here — the pending
+   invocation comes straight from the tracked program. *)
+let moves scripts (meta : pmeta array) sim =
   List.filter_map
     (fun ((p : Op.pid), (script : script)) ->
-      match Sim.proc_state sim p with
-      | Sim.Running _ -> (
-        match Sim.peek sim p with
+      match meta.(p) with
+      | P_running m -> (
+        match Program.next_invocation m.program with
         | Some inv -> Some (p, M_advance inv)
-        | None -> assert false (* Running implies a pending operation *))
-      | Sim.Terminated -> None
-      | Sim.Idle -> (
+        | None -> assert false (* running implies a pending operation *))
+      | P_idle _ -> (
         match script sim p with
         | None -> None
         | Some (label, program) -> Some (p, M_begin (label, program))))
@@ -116,126 +179,200 @@ let moves scripts sim =
 
 (* --- fingerprinting --- *)
 
-(* Per-running-call metadata the fingerprint needs but the simulator does
-   not keep: the responses received so far inside the call (they determine
-   the continuation of a deterministic program) and the begun/completed
-   call counts of every scripted process at the call's start (they
-   determine how interval-order properties will judge the call once it
-   completes). *)
-type call_meta = {
-  resps_rev : Op.value list;
-  resps_len : int; (* [List.length resps_rev], maintained incrementally *)
-  resps_h : int; (* rolling hash of [resps_rev], maintained incrementally *)
-  snap : (Op.pid * int) list;
-      (* per-process completed-call counts at this call's start: they
-         decide which completions precede the call in the interval order.
-         Begun counts are deliberately absent — began-before-began is not
-         an interval-order relation, and omitting them lets states that
-         differ only in the order of concurrent call starts merge. *)
-}
+(* A state's exact identity: the memory (persistent, so retaining it is
+   free; compared behaviorally via [Memory.same_fingerprint], never
+   serialized) and the per-process control points — which are the tracked
+   metadata array itself.  The array is copy-on-write, so retaining it as
+   a key is free and fingerprinting a state allocates one record,
+   independent of how many cells the store holds or how deep the history
+   is.  Equality and hashing read only the fingerprint-relevant fields:
+   [program] is excluded by construction (for a deterministic program it
+   is a function of the call's label and responses), [begun] because for a
+   running call it always equals [seq + 1]. *)
+type fp = { fp_mem : Memory.t; fp_meta : pmeta array }
 
-type proc_fp =
-  | F_terminated of int * Op.value option (* calls completed, last result *)
-  | F_idle of int * Op.value option (* calls begun, last result *)
-  | F_running of
-      string * int * int * int * Op.value list * (Op.pid * int) list
-      (* label, seq, resps length, resps hash, resps, snap — the scalar
-         summaries come first so equality fails fast on unequal states
-         before walking a (possibly long) spin-response list *)
+let fingerprint sim meta : fp = { fp_mem = Sim.memory sim; fp_meta = meta }
 
-type fp = (Op.addr * Op.value * Op.pid list) list * proc_fp list
+(* Exact state identity, consulted only when two states share a hash.  The
+   process summaries go first: their scalar prefixes reject unequal
+   control points before the memory walk runs.  All comparisons are
+   monomorphic and fail-fast — on a dedup hit (the common case: the keys
+   ARE equal) the whole comparison is a run of int compares plus physical
+   shortcuts on shared labels, list spines and snapshot arrays, never the
+   generic structural compare, which profiles as one of the hottest calls
+   otherwise. *)
+let value_opt_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> Op.value_equal x y
+  | None, Some _ | Some _, None -> false
 
-(* The fingerprint is kept as a structural value, not serialized: building
-   it shares the live [resps_rev]/[snap] lists, and the visited table
-   resolves hash collisions with structural equality, so hashing may
-   safely examine only a bounded prefix of (possibly long) spin-response
-   lists. *)
-let fingerprint scripts_pids sim meta : fp =
-  let procs =
-    List.map
-      (fun p ->
-        match Sim.proc_state sim p with
-        | Sim.Terminated ->
-          F_terminated (Sim.completed_count sim p, Sim.last_result sim p)
-        | Sim.Idle -> F_idle (Sim.call_count sim p, Sim.last_result sim p)
-        | Sim.Running r ->
-          let m = Pid_map.find p meta in
-          F_running (r.Sim.label, r.Sim.seq, m.resps_len, m.resps_h,
-                     m.resps_rev, m.snap))
-      scripts_pids
-  in
-  (Memory.fingerprint (Sim.memory sim), procs)
+let rec resps_equal l1 l2 =
+  l1 == l2
+  ||
+  match (l1, l2) with
+  | x :: t1, y :: t2 -> Op.value_equal x y && resps_equal t1 t2
+  | [], [] -> true
+  | [], _ :: _ | _ :: _, [] -> false
 
-(* Rolling-hash mixer for the incremental response hash and the table's
-   hash function below. *)
+let snap_equal (s1 : int array) (s2 : int array) =
+  s1 == s2
+  || (Array.length s1 = Array.length s2
+     &&
+     let rec go i = i < 0 || (s1.(i) = s2.(i) && go (i - 1)) in
+     go (Array.length s1 - 1))
+
+let pmeta_equal a b =
+  match (a, b) with
+  | P_idle (c1, r1), P_idle (c2, r2) -> c1 = c2 && value_opt_equal r1 r2
+  | P_running m1, P_running m2 ->
+    m1.label_h = m2.label_h && m1.seq = m2.seq && m1.resps_len = m2.resps_len
+    && m1.resps_h = m2.resps_h
+    && (m1.label == m2.label || String.equal m1.label m2.label)
+       (* scripts hand out the same physical label string every time, so
+          the string walk virtually never runs *)
+    && resps_equal m1.resps_rev m2.resps_rev
+    && snap_equal m1.snap m2.snap
+  | P_idle _, P_running _ | P_running _, P_idle _ -> false
+
+let metas_equal (a : pmeta array) (b : pmeta array) =
+  a == b
+  || (Array.length a = Array.length b
+     &&
+     let rec go i = i < 0 || (pmeta_equal a.(i) b.(i) && go (i - 1)) in
+     go (Array.length a - 1))
+
+let fp_equal a b =
+  metas_equal a.fp_meta b.fp_meta
+  && Memory.same_fingerprint a.fp_mem b.fp_mem
+
+(* Rolling-hash mixer for the incremental response hash and the state hash
+   below. *)
 let mix h x = (((h * 31) + x + 1) * 0x2545F491) land max_int
 
 (* The generic [Hashtbl.hash] is unusable here: its traversal is capped at
    256 nodes, and deep in a spin loop every state shares the same 256-node
-   prefix (memory plus the newest responses), so all keys collide and
-   probes degrade to long structural comparisons.  Instead the scalar
-   summaries — including the incrementally maintained response-list hash —
-   are folded explicitly; structural equality still decides matches
-   exactly, so collisions cost time, never soundness. *)
-module Fp_tbl = Hashtbl.Make (struct
-  type t = fp
+   prefix, so all keys collide and probes degrade to long structural
+   comparisons.  Instead the scalar summaries are folded explicitly, each
+   of them already maintained incrementally: [Memory.fp_hash] is a per-
+   operation delta, [resps_h] a per-response delta — so hashing a state is
+   O(processes), touching no cell and no response list.  [fp_equal] still
+   decides matches exactly, so collisions cost time, never soundness. *)
+let rec hash_snap (s : int array) i h =
+  if i >= Array.length s then h else hash_snap s (i + 1) (mix h s.(i))
 
-  let equal : fp -> fp -> bool = ( = )
+(* Hash of one process's control point, salted by its pid.  The state hash
+   is the plain integer sum of the slot hashes (plus [Memory.fp_hash]):
+   addition commutes, so the sum can be maintained incrementally — each
+   move changes exactly one slot, and [apply_move] swaps that slot's
+   contribution out and in — making the per-node hashing cost O(1) slots
+   instead of a walk over all of them.  The weaker mixing of a sum is
+   acceptable for the same reason every other hash here is: [fp_equal]
+   decides matches exactly, collisions cost time, never soundness. *)
+let slot_hash (i : int) = function
+  | P_idle (c, r) ->
+    mix
+      (mix (mix ((i + 1) * 0x9E3779B9) 5) c)
+      (match r with None -> min_int | Some v -> v)
+  | P_running m ->
+    hash_snap m.snap 0
+      (mix
+         (mix
+            (mix (mix (mix ((i + 1) * 0x9E3779B9) 7) m.label_h) m.seq)
+            m.resps_len)
+         m.resps_h)
 
-  let hash ((mem, procs) : fp) =
-    let h =
-      List.fold_left
-        (fun h (a, v, links) ->
-          List.fold_left mix (mix (mix h a) v) links)
-        0x9E3779B9 mem
-    in
-    List.fold_left
-      (fun h pf ->
-        match pf with
-        | F_terminated (c, r) ->
-          mix (mix (mix h 3) c) (match r with None -> min_int | Some v -> v)
-        | F_idle (c, r) ->
-          mix (mix (mix h 5) c) (match r with None -> min_int | Some v -> v)
-        | F_running (label, seq, len, rh, _resps, snap) ->
-          let h = mix (mix (mix (mix (mix h 7) (Hashtbl.hash label)) seq) len) rh in
-          List.fold_left (fun h (p, c) -> mix (mix h p) c) h snap)
-      h procs
-end)
+(* Initial state hash, matching [meta0]. *)
+let mh0 n =
+  let h = ref 0 in
+  for i = 0 to n - 1 do
+    h := !h + slot_hash i (P_idle (0, None))
+  done;
+  !h
 
-(* Execute one move, maintaining the fingerprint metadata.  Returns the new
-   machine, the new metadata, and whether the move completed a call (the
-   only transitions on which the property verdict can change). *)
-let apply_move scripts_pids sim meta p = function
-  | M_begin (label, program) ->
-    let snap =
-      List.map (fun q -> (q, Sim.completed_count sim q)) scripts_pids
+let mh_swap mh (meta : pmeta array) p pm =
+  mh - slot_hash p meta.(p) + slot_hash p pm
+
+(* Execute one move, maintaining the per-process metadata in lockstep with
+   the machine.  Returns the new machine, the new metadata, and whether
+   the move completed a call (the only transitions on which the property
+   verdict can change).  Completion and results are derived from the
+   tracked program — the same physical closure the machine is running —
+   so no machine state is queried back except the step's response. *)
+let set (meta : pmeta array) p pm =
+  let meta' = Array.copy meta in
+  meta'.(p) <- pm;
+  meta'
+
+(* The search threads [counts], the completed-call count per pid, alongside
+   [meta] under the invariant that [counts.(q)] is the number of calls [q]
+   has completed (no crashes happen under the explorer, so an idle process
+   has completed everything it began and a running one everything but the
+   call in flight).  Like [meta] it is copy-on-write ([bump] copies, nothing mutates a
+   shared array), which is what lets a begin adopt the current array as its
+   [snap] without copying: most snapshots are then physically shared, so
+   [snap_equal]'s [==] shortcut fires and no per-begin allocation runs. *)
+let bump (counts : int array) p =
+  let c = Array.copy counts in
+  c.(p) <- c.(p) + 1;
+  c
+
+let apply_move sim (meta : pmeta array) (counts : int array) mh p = function
+  | M_begin (label, program) -> (
+    let begun =
+      match meta.(p) with
+      | P_idle (b, _) -> b
+      | P_running _ -> assert false
     in
     let sim' = Sim.begin_call sim p ~label program in
-    if Sim.is_running sim' p then
-      ( sim',
-        Pid_map.add p
-          { resps_rev = []; resps_len = 0; resps_h = 0; snap }
-          meta,
-        false )
-    else (sim', Pid_map.remove p meta, true) (* zero-step call completed *)
-  | M_advance _ ->
-    let sim' = Sim.advance sim p in
-    if Sim.is_running sim' p then
-      let resp =
-        match Sim.last_step sim' with
-        | Some s -> s.History.response
-        | None -> assert false
+    match program with
+    | Program.Return v ->
+      (* zero-step call: completed on the spot *)
+      let pm = P_idle (begun + 1, Some v) in
+      (sim', set meta p pm, bump counts p, mh_swap mh meta p pm, true)
+    | Program.Step _ ->
+      let pm =
+        P_running
+          { program;
+            label;
+            label_h = Hashtbl.hash label;
+            seq = begun;
+            begun = begun + 1;
+            resps_rev = [];
+            resps_len = 0;
+            resps_h = 0;
+            snap = counts }
       in
-      let m = Pid_map.find p meta in
-      ( sim',
-        Pid_map.add p
+      (sim', set meta p pm, counts, mh_swap mh meta p pm, false))
+  | M_advance _ -> (
+    let m =
+      match meta.(p) with
+      | P_running m -> m
+      | P_idle _ -> assert false
+    in
+    let k =
+      match m.program with
+      | Program.Step (_, k) -> k
+      | Program.Return _ -> assert false
+    in
+    let sim' = Sim.advance sim p in
+    let resp =
+      match Sim.last_response sim' with Some v -> v | None -> assert false
+    in
+    match k resp with
+    | Program.Return v ->
+      let pm = P_idle (m.begun, Some v) in
+      (sim', set meta p pm, bump counts p, mh_swap mh meta p pm, true)
+    | Program.Step _ as program ->
+      let pm =
+        P_running
           { m with
+            program;
             resps_rev = resp :: m.resps_rev;
             resps_len = m.resps_len + 1;
             resps_h = mix m.resps_h resp }
-          meta,
-        false )
-    else (sim', Pid_map.remove p meta, true)
+      in
+      (sim', set meta p pm, counts, mh_swap mh meta p pm, false))
 
 (* Sleep set for the child reached by executing [p]'s move [mv]: of the
    processes asleep here or already explored as older siblings, keep those
@@ -253,6 +390,12 @@ let apply_move scripts_pids sim meta p = function
    script reads own state only) and no endpoint separates them. *)
 let instant (program : Op.value Program.t) = Program.next_invocation program = None
 
+(* Monomorphic [List.assoc_opt] over the enabled-move list: pid keys are
+   ints, so the polymorphic-compare dispatch is pure overhead here. *)
+let rec move_of (q : int) = function
+  | [] -> None
+  | (p, mv) :: rest -> if (p : int) = q then Some mv else move_of q rest
+
 let child_sleep ~por ~completed ms sleep explored mv =
   if not por then Pid_set.empty
   else
@@ -261,7 +404,7 @@ let child_sleep ~por ~completed ms sleep explored mv =
     | M_begin _ ->
       Pid_set.filter
         (fun q ->
-          match List.assoc_opt q ms with
+          match move_of q ms with
           | Some (M_begin (_, prog_q)) -> not (instant prog_q)
           | Some (M_advance _) | None -> false)
         (Pid_set.union sleep explored)
@@ -272,7 +415,7 @@ let child_sleep ~por ~completed ms sleep explored mv =
          moves flank no call start, so no interval relation changes. *)
       Pid_set.filter
         (fun q ->
-          match List.assoc_opt q ms with
+          match move_of q ms with
           | Some (M_advance inv_q) -> Op.commute inv_p inv_q
           | Some (M_begin (_, prog_q)) -> (not completed) && not (instant prog_q)
           | None -> false)
@@ -282,7 +425,9 @@ let child_sleep ~por ~completed ms sleep explored mv =
 
 type task = {
   t_sim : Sim.t;
-  t_meta : call_meta Pid_map.t;
+  t_meta : pmeta array;
+  t_counts : int array; (* completed calls per pid, in lockstep with t_meta *)
+  t_mh : int; (* incrementally-maintained slot-hash sum of t_meta *)
   t_sleep : Pid_set.t;
   t_depth : int;
   t_completed : bool; (* the move into this node completed a call *)
@@ -299,22 +444,74 @@ type sub = {
   s_capped : bool;
 }
 
+(* How a subtree task may count leaves.
+
+   [B_fixed n]: count exactly up to [n] leaves, then stop "capped"
+   immediately after the [n]-th — the canonical sequential semantics.
+
+   [B_shared pool]: draw chunked leases from a shared atomic pool; a task
+   that cannot refill stops capped at the same program point (immediately
+   after the leaf that drained its allowance).  Leasing is first-come-
+   first-served and therefore scheduling-dependent; the reconciliation
+   pass in [check] restores the canonical accounting afterwards.  Unused
+   allowance is refunded when the task stops, so at jobs=1 the pool drains
+   exactly in task order and reconciliation accepts every task as-is. *)
+type budget_src = B_fixed of int | B_shared of int Atomic.t
+
+let lease_chunk = 64
+
+let take_lease pool =
+  let rec go () =
+    let avail = Atomic.get pool in
+    if avail <= 0 then 0
+    else
+      let want = min lease_chunk avail in
+      if Atomic.compare_and_set pool avail (avail - want) then want else go ()
+  in
+  go ()
+
 exception Stopped of Sim.t option (* [Some sim]: violation; [None]: cap hit *)
 
 (* Depth-first exploration of one subtree with a private visited table and
-   history budget.  Deterministic: depends only on the task, never on
-   sibling subtrees or scheduling. *)
-let explore_subtree ~dedup ~por ~property ~scripts ~scripts_pids
-    ~max_steps_per_history ~budget task =
-  let visited : Pid_set.t list ref Fp_tbl.t = Fp_tbl.create 1024 in
+   history allowance.  With [B_fixed] the result is a pure function of the
+   task and the budget; with [B_shared] only the {e stop point} may vary
+   with scheduling, and it always lies immediately after some counted
+   leaf — which is what lets [check] reconcile shared-lease runs against
+   the fixed-budget semantics without re-exploring completed tasks. *)
+let explore_subtree ~dedup ~por ~property ~scripts ~max_steps_per_history
+    ~budget task =
+  (* State identity: (incremental hash, exact key) pairs interned to dense
+     ints; the visited table and its sleep-set antichains then key on
+     ints.  Both tables are task-private, so no synchronization. *)
+  let intern : fp Fp_intern.t = Fp_intern.create ~equal:fp_equal () in
+  (* Sleep-set antichains, indexed directly by interned id: ids are dense
+     (0, 1, 2, ...), so a growable array replaces a second hash lookup. *)
+  let visited : Pid_set.t list array ref = ref (Array.make 1024 []) in
+  let antichain id =
+    let arr = !visited in
+    if id < Array.length arr then arr.(id)
+    else begin
+      let arr' = Array.make (max (2 * Array.length arr) (id + 1)) [] in
+      Array.blit arr 0 arr' 0 (Array.length arr);
+      visited := arr';
+      []
+    end
+  in
   let histories = ref 0 and truncated = ref 0 and states = ref 0 in
   let dedup_hits = ref 0 and por_prunes = ref 0 and maxd = ref 0 in
+  let credits = ref 0 in (* leaves we may still count before refilling *)
   let leaf ~checked sim =
     incr histories;
     if (not checked) && not (property sim) then raise (Stopped (Some sim));
-    if !histories >= budget then raise (Stopped None)
+    decr credits;
+    if !credits = 0 then begin
+      (match budget with
+      | B_fixed _ -> ()
+      | B_shared pool -> credits := take_lease pool);
+      if !credits = 0 then raise (Stopped None)
+    end
   in
-  let rec visit sim meta sleep depth ~completed =
+  let rec visit sim meta counts mh sleep depth ~completed =
     incr states;
     if depth > !maxd then maxd := depth;
     (* The verdict can change only when a call completes; checking there
@@ -329,18 +526,18 @@ let explore_subtree ~dedup ~por ~property ~scripts ~scripts_pids
       leaf ~checked sim
     end
     else
-      match moves scripts sim with
+      match moves scripts meta sim with
       | [] -> leaf ~checked sim
       | ms -> (
         let descend awake =
           ignore
             (List.fold_left
                (fun explored (p, mv) ->
-                 let sim', meta', completed =
-                   apply_move scripts_pids sim meta p mv
+                 let sim', meta', counts', mh', completed =
+                   apply_move sim meta counts mh p mv
                  in
                  let sleep' = child_sleep ~por ~completed ms sleep explored mv in
-                 visit sim' meta' sleep' (depth + 1) ~completed;
+                 visit sim' meta' counts' mh' sleep' (depth + 1) ~completed;
                  Pid_set.add p explored)
                Pid_set.empty awake)
         in
@@ -354,15 +551,13 @@ let explore_subtree ~dedup ~por ~property ~scripts ~scripts_pids
           let fresh =
             (not dedup)
             ||
-            let key = fingerprint scripts_pids sim meta in
-            let entries =
-              match Fp_tbl.find_opt visited key with
-              | Some r -> r
-              | None ->
-                let r = ref [] in
-                Fp_tbl.add visited key r;
-                r
+            let key = fingerprint sim meta in
+            let id =
+              Fp_intern.intern intern
+                ~hash:(mix (Memory.fp_hash key.fp_mem) mh)
+                key
             in
+            let entries = antichain id in
             (* Prune iff a prior visit had a sleep set no larger (so no
                fewer awake moves).  The remaining depth budget is
                deliberately not compared: a revisit may arrive shallower
@@ -373,28 +568,42 @@ let explore_subtree ~dedup ~por ~property ~scripts ~scripts_pids
                branch truncates the budget never binds and pruning is
                exact; when one does, the run is already reported
                incomplete. *)
-            if List.exists (fun sl -> Pid_set.subset sl sleep) !entries then begin
+            if List.exists (fun sl -> Pid_set.subset sl sleep) entries then begin
               incr dedup_hits;
               false
             end
             else begin
-              entries :=
+              !visited.(id) <-
                 sleep
-                :: List.filter (fun sl -> not (Pid_set.subset sleep sl)) !entries;
+                :: List.filter (fun sl -> not (Pid_set.subset sleep sl)) entries;
               true
             end
           in
           if fresh then descend awake)
   in
+  let initial_credits =
+    match budget with B_fixed n -> max 0 n | B_shared pool -> take_lease pool
+  in
   let violation, capped =
-    if budget <= 0 then (None, true)
-    else
-      match
-        visit task.t_sim task.t_meta task.t_sleep task.t_depth
-          ~completed:task.t_completed
-      with
-      | () -> (None, false)
-      | exception Stopped v -> (v, v = None)
+    if initial_credits <= 0 then (None, true)
+    else begin
+      credits := initial_credits;
+      let outcome =
+        match
+          visit task.t_sim task.t_meta task.t_counts task.t_mh task.t_sleep
+            task.t_depth ~completed:task.t_completed
+        with
+        | () -> (None, false)
+        | exception Stopped v -> (v, v = None)
+      in
+      (* Return what we did not consume, so later tasks can lease it. *)
+      (match budget with
+      | B_fixed _ -> ()
+      | B_shared pool ->
+        ignore (Atomic.fetch_and_add pool !credits);
+        credits := 0);
+      outcome
+    end
   in
   { s_histories = !histories;
     s_truncated = !truncated;
@@ -410,8 +619,8 @@ let explore_subtree ~dedup ~por ~property ~scripts ~scripts_pids
    [split_depth] nodes as independent tasks, in DFS order.  The expansion
    never dedups — frontier nodes must all be produced so that the task
    list, and hence the merged verdict, is a pure function of the input. *)
-let expand ~por ~property ~scripts ~scripts_pids ~max_steps_per_history
-    ~max_histories ~split_depth sim0 =
+let expand ~por ~property ~scripts ~n ~max_steps_per_history ~max_histories
+    ~split_depth sim0 =
   let tasks = ref [] in
   let histories = ref 0 and truncated = ref 0 and states = ref 0 in
   let maxd = ref 0 in
@@ -420,13 +629,15 @@ let expand ~por ~property ~scripts ~scripts_pids ~max_steps_per_history
     if (not checked) && not (property sim) then raise (Stopped (Some sim));
     if !histories >= max_histories then raise (Stopped None)
   in
-  let rec visit sim meta sleep depth ~completed =
-    if depth >= split_depth && moves scripts sim <> []
+  let rec visit sim meta counts mh sleep depth ~completed =
+    if depth >= split_depth && moves scripts meta sim <> []
        && depth < max_steps_per_history
     then
       tasks :=
         { t_sim = sim;
           t_meta = meta;
+          t_counts = counts;
+          t_mh = mh;
           t_sleep = sleep;
           t_depth = depth;
           t_completed = completed }
@@ -443,7 +654,7 @@ let expand ~por ~property ~scripts ~scripts_pids ~max_steps_per_history
         leaf ~checked sim
       end
       else
-        match moves scripts sim with
+        match moves scripts meta sim with
         | [] -> leaf ~checked sim
         | ms ->
           ignore
@@ -451,18 +662,21 @@ let expand ~por ~property ~scripts ~scripts_pids ~max_steps_per_history
                (fun explored (p, mv) ->
                  if Pid_set.mem p sleep then explored
                  else begin
-                   let sim', meta', completed =
-                     apply_move scripts_pids sim meta p mv
+                   let sim', meta', counts', mh', completed =
+                     apply_move sim meta counts mh p mv
                    in
                    let sleep' = child_sleep ~por ~completed ms sleep explored mv in
-                   visit sim' meta' sleep' (depth + 1) ~completed;
+                   visit sim' meta' counts' mh' sleep' (depth + 1) ~completed;
                    Pid_set.add p explored
                  end)
                Pid_set.empty ms)
     end
   in
   let stopped =
-    match visit sim0 Pid_map.empty Pid_set.empty 0 ~completed:false with
+    match
+      visit sim0 (meta0 n) (Array.make n 0) (mh0 n) Pid_set.empty 0
+        ~completed:false
+    with
     | () -> None
     | exception Stopped v -> Some v
   in
@@ -470,8 +684,18 @@ let expand ~por ~property ~scripts ~scripts_pids ~max_steps_per_history
 
 let default_split_depth = 2
 
+let zero_capped_sub =
+  { s_histories = 0;
+    s_truncated = 0;
+    s_states = 0;
+    s_dedup = 0;
+    s_por = 0;
+    s_maxd = 0;
+    s_violation = None;
+    s_capped = true }
+
 let check ?tracer ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
-    ?(dedup = true) ?(por = true) ?(jobs = 1)
+    ?(dedup = true) ?(por = true) ?(lean = true) ?(jobs = 1)
     ?(split_depth = default_split_depth) ~layout ~model ~n ~scripts ~property
     () =
   (* Monotonic wall clock, not [Sys.time] (which is CPU time and so *shrinks*
@@ -479,11 +703,11 @@ let check ?tracer ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
      — or inflates, summing across domains, depending on the runtime). *)
   let t0 = Obs.Clock.now_s () in
   let sim0 = Sim.create ~model ~layout ~n in
-  let scripts_pids = List.map fst scripts in
+  let sim0 = if lean then Sim.lean_mode sim0 else sim0 in
   let split_depth = max 0 split_depth in
   let tasks, pre_h, pre_t, pre_states, pre_maxd, stopped =
-    expand ~por ~property ~scripts ~scripts_pids ~max_steps_per_history
-      ~max_histories ~split_depth sim0
+    expand ~por ~property ~scripts ~n ~max_steps_per_history ~max_histories
+      ~split_depth sim0
   in
   let finish ~histories ~truncated ~states ~dedup_hits ~por_prunes ~tasks:k
       ~max_depth ~violation ~capped =
@@ -517,25 +741,56 @@ let check ?tracer ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
          ~capped:(v = None))
   | None ->
     let k = List.length tasks in
-    (* Fixed deterministic budget split: task [i] may count at most
-       [budget i] further histories, independent of job count and of the
-       other tasks' actual sizes. *)
-    let remaining_cap = max_histories - pre_h in
-    let budget i =
-      if k = 0 then 0
-      else (remaining_cap / k) + if i < remaining_cap mod k then 1 else 0
+    let run_task budget task =
+      explore_subtree ~dedup ~por ~property ~scripts ~max_steps_per_history
+        ~budget task
     in
+    (* Dynamic work-sharing: tasks are drained from [Parallel.map]'s shared
+       atomic queue, and each draws history allowance as chunked leases
+       from one shared pool — so no task idles on a private slice of the
+       budget while a spin-heavy sibling starves. *)
+    let remaining_cap = max 0 (max_histories - pre_h) in
+    let pool = Atomic.make remaining_cap in
+    let raw = Parallel.map ~jobs (run_task (B_shared pool)) tasks in
+    (* Reconciliation, in task order: normalize the first-come-first-served
+       lease accounting back to the canonical semantics "task [i] may
+       count whatever of [max_histories] its predecessors left over".  A
+       task is accepted as-is when its recorded run provably equals the
+       fixed-budget run — it finished naturally within the remaining
+       budget, or it stopped by exhaustion exactly at the remaining budget
+       (same stop point, immediately after that leaf).  Anything else
+       (starved by concurrent leases, or run past what the sequential
+       budget allows) is re-run with the exact fixed budget; re-runs cost
+       at most the budget they are given and only arise on capped
+       searches.  The accepted list — and therefore every reported number
+       and the surviving violation — is a pure function of the task list,
+       independent of [jobs] and of lease scheduling. *)
     let subs =
-      Parallel.map ~jobs
-        (fun (i, task) ->
-          explore_subtree ~dedup ~por ~property ~scripts ~scripts_pids
-            ~max_steps_per_history ~budget:(budget i) task)
-        (List.mapi (fun i t -> (i, t)) tasks)
+      let budget_left = ref remaining_cap in
+      List.map2
+        (fun task s ->
+          let b = !budget_left in
+          if b <= 0 then zero_capped_sub
+          else if (not s.s_capped) && s.s_histories < b then begin
+            budget_left := b - s.s_histories;
+            s
+          end
+          else if s.s_capped && s.s_histories = b then begin
+            budget_left := 0;
+            s
+          end
+          else begin
+            let s' = run_task (B_fixed b) task in
+            budget_left := b - s'.s_histories;
+            s'
+          end)
+        tasks raw
     in
     (* Task spans are emitted *here*, after the parallel map, in task order,
-       from per-task stats — never from inside worker domains — so the trace
-       is byte-identical for every [jobs].  The span ticks are synthetic:
-       cumulative states explored, a deterministic stand-in for time. *)
+       from the reconciled per-task stats — never from inside worker
+       domains — so the trace is byte-identical for every [jobs].  The span
+       ticks are synthetic: cumulative states explored, a deterministic
+       stand-in for time. *)
     (match tracer with
     | None -> ()
     | Some tr ->

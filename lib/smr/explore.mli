@@ -68,6 +68,7 @@ val check :
   ?max_steps_per_history:int ->
   ?dedup:bool ->
   ?por:bool ->
+  ?lean:bool ->
   ?jobs:int ->
   ?split_depth:int ->
   layout:Var.layout ->
@@ -83,9 +84,21 @@ val check :
 
     [max_histories] is a deterministic budget: after the first
     [split_depth] (default 2) levels are expanded into subtree tasks, the
-    remaining budget is split evenly across tasks, so the reported counts
-    are independent of [jobs] — at the cost that a capped run may stop
-    slightly under the nominal bound when subtrees are uneven.
+    remaining budget is shared dynamically — tasks draw chunked leases
+    from one atomic pool, so no task idles on a private slice while a
+    spin-heavy sibling starves — and a reconciliation pass in task order
+    then restores the canonical sequential accounting ("each task may
+    count whatever its predecessors left over"), so the reported counts
+    are independent of [jobs] and of lease scheduling.
+
+    [lean] (default true) steps the machine in {!Sim.lean_mode}: per-step
+    history records and the replayable trace are not accumulated, which
+    removes the dominant per-step allocations.  Call records and all
+    counters are kept, so any property within the soundness contract
+    above — a function of recorded calls and their interval order — is
+    unaffected; see docs/MODEL.md, "Exploration fast path".  Pass
+    [~lean:false] when the property (or post-mortem use of the returned
+    [violation] machine) needs {!Sim.steps} or {!Sim.replay}.
 
     [jobs] (default 1) fans the subtree tasks out across domains via
     {!Parallel.map}; every field of the result except [stats.wall_s] is

@@ -1,0 +1,28 @@
+(** Fingerprint interning: dense small-integer ids for hash-plus-exact-key
+    identified values.
+
+    {!Smr.Explore} identifies each search state by an incrementally
+    maintained integer hash plus an exact (structural) key.  An interning
+    table turns that pair into a small int id, so the visited-state table
+    and its sleep-set entries hash and compare on ints; the exact key is
+    consulted only when two states share a hash — a revisit or a genuine
+    collision.  Distinct keys always receive distinct ids, so interning
+    never affects soundness, only constant factors. *)
+
+type 'a t
+
+val create : ?size:int -> equal:('a -> 'a -> bool) -> unit -> 'a t
+(** An empty table.  [equal] decides key identity exactly; it is called
+    only on keys whose hashes coincide. *)
+
+val intern : 'a t -> hash:int -> 'a -> int
+(** The id of [key]: the id assigned on its first interning (ids are
+    dense, starting at 0, in first-seen order).  Two keys receive the same
+    id iff they have the same [hash] {e and} are [equal]. *)
+
+val distinct : 'a t -> int
+(** Number of distinct keys interned so far (= the next id). *)
+
+val collisions : 'a t -> int
+(** Number of distinct keys that landed in an already-occupied hash
+    bucket — a diagnostic for hash quality, not a correctness signal. *)

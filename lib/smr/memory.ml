@@ -17,7 +17,7 @@ type cell = {
   writers : Pid_set.t; (* every process that ever overwrote this cell *)
 }
 
-type t = { layout : Var.layout; cells : cell Addr_map.t }
+type t = { layout : Var.layout; cells : cell Addr_map.t; fp_hash : int }
 
 let fresh_cell layout a =
   { value = Var.layout_init layout a;
@@ -25,7 +25,34 @@ let fresh_cell layout a =
     links = Pid_set.empty;
     writers = Pid_set.empty }
 
-let create layout = { layout; cells = Addr_map.empty }
+(* Whether the cell is behaviorally indistinguishable from a never-touched
+   cell: initial value, no valid load-links.  Last-writer and writer-set
+   metadata is deliberately ignored — it feeds the Section 6 analyses, not
+   operation responses.  Monomorphic comparisons only ([Op.value_equal],
+   [Pid_set.is_empty]): this runs on the fingerprint hot path, and
+   polymorphic [=] would silently slow or break it if [Op.value] ever
+   grows beyond [int]. *)
+let fresh_like layout a c =
+  Pid_set.is_empty c.links && Op.value_equal c.value (Var.layout_init layout a)
+
+(* Rolling mixer shared by the per-cell hash; mirrors Explore's mixer so
+   hash quality is uniform across the dedup pipeline. *)
+let mix h x = (((h * 31) + x + 1) * 0x2545F491) land max_int
+
+(* Contribution of one cell to the running behavioral hash.  Fresh-like
+   cells contribute 0, so a store written back to its initial state hashes
+   identically to one never touched.  Contributions combine by integer
+   addition (commutative and invertible), which is what makes the hash
+   maintainable as an O(1) delta per [apply]. *)
+let cell_contrib layout a c =
+  if fresh_like layout a c then 0
+  else
+    Pid_set.fold
+      (fun p h -> mix h p)
+      c.links
+      (mix (mix 0x531AB597 a) c.value)
+
+let create layout = { layout; cells = Addr_map.empty; fp_hash = 0 }
 
 let cell t a =
   match Addr_map.find_opt a t.cells with
@@ -51,7 +78,8 @@ type applied = {
 
 let apply t ~pid inv =
   let a = Op.addr_of inv in
-  let c = cell t a in
+  let c_opt = Addr_map.find_opt a t.cells in
+  let c = match c_opt with Some c -> c | None -> fresh_cell t.layout a in
   let { Op.response; new_value } =
     Op.execute ~current:c.value ~ll_valid:(Pid_set.mem pid c.links) inv
   in
@@ -64,7 +92,8 @@ let apply t ~pid inv =
     | None ->
       (* Trivial operation; an [Ll] additionally records a link. *)
       (match inv with
-      | Op.Ll _ -> { c with links = Pid_set.add pid c.links }
+      | Op.Ll _ when not (Pid_set.mem pid c.links) ->
+        { c with links = Pid_set.add pid c.links }
       | _ -> c)
     | Some v ->
       (* Nontrivial: overwrite, take last-writer, invalidate every link. *)
@@ -73,10 +102,20 @@ let apply t ~pid inv =
         links = Pid_set.empty;
         writers = Pid_set.add pid c.writers }
   in
-  { memory = { t with cells = Addr_map.add a c' t.cells };
-    response;
-    wrote = new_value <> None;
-    read_from }
+  (* Incremental behavioral hash: subtract the old cell's contribution,
+     add the new one's — an O(1) delta per operation, which is what makes
+     {!fp_hash} constant-time for the explorer.  A trivial operation that
+     leaves the cell untouched ([c' == c]) changes neither the hash nor
+     the map; an untouched absent cell is not even materialized. *)
+  let memory =
+    if c' == c then t
+    else
+      { t with
+        cells = Addr_map.add a c' t.cells;
+        fp_hash =
+          t.fp_hash + (cell_contrib t.layout a c' - cell_contrib t.layout a c) }
+  in
+  { memory; response; wrote = new_value <> None; read_from }
 
 let layout t = t.layout
 
@@ -95,8 +134,33 @@ let dump t =
 let fingerprint t =
   Addr_map.fold
     (fun a c acc ->
-      let links = Pid_set.elements c.links in
-      if links = [] && c.value = Var.layout_init t.layout a then acc
-      else (a, c.value, links) :: acc)
+      if fresh_like t.layout a c then acc
+      else (a, c.value, Pid_set.elements c.links) :: acc)
     t.cells []
   |> List.rev
+
+(* --- constant-time behavioral summary (the explorer's hot path) --- *)
+
+let fp_hash t = t.fp_hash
+
+(* Behavioral equality: the two stores respond identically to every future
+   operation sequence — i.e. their {!fingerprint}s are equal — decided
+   without building either fingerprint list.  Cells absent from one side
+   compare against the other's fresh view, so a store written back to its
+   initial state equals one never touched.  Cost is O(cells) on the first
+   structural mismatch-free walk, but the explorer only calls this to
+   confirm a hash match, so the common path is two stores that really are
+   equal and share most of their (persistent) spine. *)
+let same_fingerprint t1 t2 =
+  t1.cells == t2.cells
+  || (t1.fp_hash = t2.fp_hash
+     && Addr_map.for_all
+          (fun a c1 ->
+            let c2 = cell t2 a in
+            c1 == c2
+            || (Op.value_equal c1.value c2.value
+               && Pid_set.equal c1.links c2.links))
+          t1.cells
+     && Addr_map.for_all
+          (fun a c2 -> Addr_map.mem a t1.cells || fresh_like t2.layout a c2)
+          t2.cells)

@@ -46,5 +46,18 @@ val fingerprint : t -> (Op.addr * Op.value * Op.pid list) list
     cell's value plus the processes holding a valid load-link on it, in
     address order, with cells indistinguishable from their initial state
     omitted.  Two memories with equal fingerprints respond identically to
-    every subsequent operation sequence; {!Smr.Explore} keys its visited-
-    state table on this. *)
+    every subsequent operation sequence.  Building the list walks every
+    touched cell; the explorer's hot path uses {!fp_hash} and
+    {!same_fingerprint} instead and never materializes it. *)
+
+val fp_hash : t -> int
+(** Running hash of the behavioral {!fingerprint}, maintained incrementally
+    (an O(1) delta per {!apply}), so reading it is constant-time.  Equal
+    fingerprints always hash equally; unequal fingerprints may collide, so
+    a hash match must be confirmed with {!same_fingerprint}. *)
+
+val same_fingerprint : t -> t -> bool
+(** Whether the two stores (over the same layout) have equal behavioral
+    {!fingerprint}s — decided by direct comparison of the cell maps, with
+    fresh-cell elision, without building either list.  This is the exact
+    collision-confirmation step behind {!fp_hash}. *)

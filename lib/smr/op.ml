@@ -14,6 +14,14 @@ type addr = int
 
 type value = int
 
+(* Monomorphic value equality.  Hot paths (fingerprint elision, dedup
+   confirmation) must compare values through this rather than polymorphic
+   [=]: if [value] ever grows beyond [int] (boxed payloads, tagged
+   encodings), this is the one place that changes, and the compiler flags
+   every site that needs a semantic decision instead of silently falling
+   back to slow structural comparison. *)
+let value_equal : value -> value -> bool = Int.equal
+
 type invocation =
   | Read of addr
   | Write of addr * value

@@ -15,6 +15,11 @@ type addr = int
 type value = int
 (** Contents of a cell and response of an operation. *)
 
+val value_equal : value -> value -> bool
+(** Monomorphic equality on cell values.  Hot paths compare through this
+    rather than polymorphic [=], so a future richer [value] representation
+    cannot silently degrade or break them. *)
+
 (** One atomic memory operation. Responses: [Read]/[Ll] return the cell value;
     [Write] returns [0]; [Cas]/[Sc] return [1] on success and [0] on failure;
     [Faa]/[Fas]/[Tas] return the previous cell value. *)

@@ -67,18 +67,31 @@ let run ?(max_events = 1_000_000) ~policy ~behavior ~pids sim =
     let rng = Random.State.make [| seed |] in
     (* Staleness = ticks since the process last made progress; a process
        whose staleness reaches [delta] is scheduled before anyone else,
-       enforcing the model's step-gap bound. *)
+       enforcing the model's step-gap bound.  Kept in a map keyed by pid:
+       the per-tick rebuild below is O(n log n), where the former
+       association list (one [List.assoc_opt] per process per tick) made
+       every tick quadratic in the process count. *)
+    let stale staleness p =
+      match Sim.Pid_map.find_opt p staleness with Some s -> s | None -> 0
+    in
+    (* One tick advanced: [q] progressed, everyone else ages by one.
+       Rebuilding from [runnable] also drops terminated processes. *)
+    let bump staleness runnable q =
+      List.fold_left
+        (fun m p ->
+          Sim.Pid_map.add p (if p = q then 0 else stale staleness p + 1) m)
+        Sim.Pid_map.empty runnable
+    in
     let rec loop sim budget staleness =
       let runnable =
         List.filter (fun p -> not (Sim.is_terminated sim p)) pids
       in
       if budget <= 0 || runnable = [] then sim
       else
-        let stale p =
-          Option.value ~default:0 (List.assoc_opt p staleness)
-        in
         let overdue =
-          List.filter (fun p -> stale p >= delta - 1 && Sim.is_running sim p) runnable
+          List.filter
+            (fun p -> stale staleness p >= delta - 1 && Sim.is_running sim p)
+            runnable
         in
         let pick =
           match overdue with
@@ -86,13 +99,7 @@ let run ?(max_events = 1_000_000) ~policy ~behavior ~pids sim =
           | [] -> List.nth runnable (Random.State.int rng (List.length runnable))
         in
         (match poke behavior sim pick with
-        | Some sim' ->
-          let staleness =
-            List.map
-              (fun p -> (p, if p = pick then 0 else stale p + 1))
-              runnable
-          in
-          loop sim' (budget - 1) staleness
+        | Some sim' -> loop sim' (budget - 1) (bump staleness runnable pick)
         | None ->
           (* The pick is paused (so nobody was overdue).  Sweep once to
              find anyone that can progress; a fruitless sweep ends the
@@ -110,14 +117,10 @@ let run ?(max_events = 1_000_000) ~policy ~behavior ~pids sim =
               (List.filter (fun p -> p <> pick) runnable)
           in
           (match progressed with
-          | Some q ->
-            let staleness =
-              List.map (fun p -> (p, if p = q then 0 else stale p + 1)) runnable
-            in
-            loop sim (budget - 1) staleness
+          | Some q -> loop sim (budget - 1) (bump staleness runnable q)
           | None -> sim))
     in
-    loop sim max_events (List.map (fun p -> (p, 0)) pids)
+    loop sim max_events Sim.Pid_map.empty
   | Random_seed seed ->
     let rng = Random.State.make [| seed |] in
     let rec loop sim budget stuck =
@@ -150,15 +153,17 @@ let run ?(max_events = 1_000_000) ~policy ~behavior ~pids sim =
 
 (* A behavior combinator: perform the given calls in order, then stop. *)
 let script calls =
-  let remaining = Hashtbl.create 16 in
+  (* Pre-build the per-process work lists: the former lazy [List.assoc_opt]
+     seeding made the first poke of each process a linear scan — quadratic
+     across n processes.  First binding wins on duplicate pids, exactly as
+     [List.assoc_opt] resolved them. *)
+  let remaining = Hashtbl.create (max 16 (List.length calls)) in
+  List.iter
+    (fun (p, l) -> if not (Hashtbl.mem remaining p) then Hashtbl.add remaining p l)
+    calls;
   fun (_ : Sim.t) p ->
-    let todo =
-      match Hashtbl.find_opt remaining p with
-      | Some l -> l
-      | None -> (match List.assoc_opt p calls with Some l -> l | None -> [])
-    in
-    match todo with
-    | [] -> Stop
-    | (label, program) :: rest ->
+    match Hashtbl.find_opt remaining p with
+    | None | Some [] -> Stop
+    | Some ((label, program) :: rest) ->
       Hashtbl.replace remaining p rest;
       Start (label, program)

@@ -39,14 +39,25 @@ type t = {
   model0 : Cost_model.t; (* pristine model, for replay *)
   procs : proc_state Pid_map.t;
   clock : int;
+  lean : bool; (* skip per-step history (steps_rev) and replay trace *)
   steps_rev : History.step list;
   calls_rev : History.call list;
   trace_rev : event list;
   participated : Pid_set.t;
   rmr_by_pid : int Pid_map.t;
-  steps_by_pid : int Pid_map.t;
+      (* RMRs in *finished* (completed or crashed) calls; the in-flight
+         call's tally lives in its [run] record and is added by the
+         accessors, so the hot stepping path updates no map *)
+  steps_by_pid : int Pid_map.t; (* same folding discipline as rmr_by_pid *)
   seq_by_pid : int Pid_map.t; (* next call ordinal per process *)
   done_by_pid : int Pid_map.t; (* calls completed (crashed excluded) per process *)
+  last_by_pid : Op.value option Pid_map.t;
+      (* result of the latest completed-or-crashed call per process:
+         [Some v] completed with [v], [None] crashed.  Mirrors the newest
+         calls_rev record of the process, but is O(log n) to read. *)
+  last_resp : Op.value option; (* response of the most recent step *)
+  total_rmrs_c : int; (* running totals, so accounting views are O(1) *)
+  total_messages_c : int;
   ends_rev : (Op.pid * int * bool) list; (* terminations/crashes: pid, tick, crashed *)
   tracer : Obs.Trace.t option;
 }
@@ -61,6 +72,7 @@ let create ~model ~layout ~n =
     model0 = model;
     procs = Pid_map.empty;
     clock = 0;
+    lean = false;
     steps_rev = [];
     calls_rev = [];
     trace_rev = [];
@@ -69,12 +81,32 @@ let create ~model ~layout ~n =
     steps_by_pid = Pid_map.empty;
     seq_by_pid = Pid_map.empty;
     done_by_pid = Pid_map.empty;
+    last_by_pid = Pid_map.empty;
+    last_resp = None;
+    total_rmrs_c = 0;
+    total_messages_c = 0;
     ends_rev = [];
     tracer = None }
 
 let tracer t = t.tracer
 
 let with_tracer t tracer = { t with tracer }
+
+(* Lean (history-free) stepping: from this point on the machine stops
+   accumulating the per-step history ([steps] will be empty) and the
+   replayable trace ([replay]/[erase] become unavailable), while every
+   counter — clock, per-process and total RMR/step/call tallies, last
+   results, call records, ends — is maintained exactly as in full mode.
+   This is the explorer's mode: its dedup/POR machinery and the property
+   contract consume only counters and call records, and skipping the two
+   per-step accumulators removes the dominant allocation on the search hot
+   path.  See docs/MODEL.md, "Exploration fast path". *)
+let lean_mode t =
+  if t.steps_rev <> [] || t.trace_rev <> [] then
+    invalid_arg "Sim.lean_mode: machine already has recorded history"
+  else { t with lean = true }
+
+let is_lean t = t.lean
 
 (* Observation events are purely additive: on [None] nothing is allocated
    or computed, which is the zero-cost-when-disabled contract. *)
@@ -122,6 +154,29 @@ let calls t =
   in
   List.rev_append t.calls_rev pending
 
+(* Fold over the same calls [calls] returns, in unspecified order, without
+   materializing the list.  Properties evaluated at every search node
+   (e.g. Specification 4.1) quantify over call intervals by their
+   timestamps, not by list position, so they can skip the O(completed
+   calls) copy [calls] performs per evaluation. *)
+let fold_calls f acc t =
+  let acc = List.fold_left f acc t.calls_rev in
+  Pid_map.fold
+    (fun p st acc ->
+      match st with
+      | Running r ->
+        f acc
+          { History.c_pid = p;
+            c_label = r.label;
+            c_seq = r.seq;
+            c_started = r.started;
+            c_finished = None;
+            c_result = None;
+            c_rmrs = r.run_rmrs;
+            c_steps = r.run_steps }
+      | Idle | Terminated -> acc)
+    t.procs acc
+
 let participants t = t.participated
 
 let peek t p =
@@ -142,25 +197,36 @@ let find_count map p =
   match Pid_map.find_opt p map with Some v -> v | None -> 0
 
 let complete_call t p (r : run) result =
-  let t = tick t in
+  let finished = t.clock in
   let call =
     { History.c_pid = p;
       c_label = r.label;
       c_seq = r.seq;
       c_started = r.started;
-      c_finished = Some (t.clock - 1);
+      c_finished = Some finished;
       c_result = Some result;
       c_rmrs = r.run_rmrs;
       c_steps = r.run_steps }
   in
   emit_ev t
     (Obs.Event.Call_end
-       { t = t.clock - 1; pid = p; label = r.label; seq = r.seq;
+       { t = finished; pid = p; label = r.label; seq = r.seq;
          result; rmrs = r.run_rmrs; steps = r.run_steps });
+  (* One record copy for the whole completion; the call's step/RMR tallies
+     are folded into the per-process totals here, not on every step. *)
   { t with
+    clock = finished + 1;
     procs = Pid_map.add p Idle t.procs;
     calls_rev = call :: t.calls_rev;
-    done_by_pid = Pid_map.add p (find_count t.done_by_pid p + 1) t.done_by_pid }
+    done_by_pid = Pid_map.add p (find_count t.done_by_pid p + 1) t.done_by_pid;
+    last_by_pid = Pid_map.add p (Some result) t.last_by_pid;
+    rmr_by_pid =
+      (if r.run_rmrs = 0 then t.rmr_by_pid
+       else Pid_map.add p (find_count t.rmr_by_pid p + r.run_rmrs) t.rmr_by_pid);
+    steps_by_pid =
+      (if r.run_steps = 0 then t.steps_by_pid
+       else
+         Pid_map.add p (find_count t.steps_by_pid p + r.run_steps) t.steps_by_pid) }
 
 (* Internal: perform a begin without recording a trace event (replay uses
    this too, via the shared implementation with [record] = false). *)
@@ -169,25 +235,32 @@ let begin_call_gen ~record t p ~label program =
   | Idle -> ()
   | Running _ -> invalid_arg "Sim.begin_call: process already in a call"
   | Terminated -> invalid_arg "Sim.begin_call: process terminated");
-  let t =
-    if record then { t with trace_rev = E_begin (p, label, program) :: t.trace_rev }
-    else t
+  let trace_rev =
+    if record && not t.lean then E_begin (p, label, program) :: t.trace_rev
+    else t.trace_rev
   in
-  let t = tick t in
+  let started = t.clock in
   let seq = find_count t.seq_by_pid p in
-  let t =
-    { t with
-      participated = Pid_set.add p t.participated;
-      seq_by_pid = Pid_map.add p (seq + 1) t.seq_by_pid }
-  in
-  let r =
-    { program; label; seq; started = t.clock - 1; run_rmrs = 0; run_steps = 0 }
-  in
-  emit_ev t
-    (Obs.Event.Call_begin { t = r.started; pid = p; label; seq });
+  let r = { program; label; seq; started; run_rmrs = 0; run_steps = 0 } in
+  emit_ev t (Obs.Event.Call_begin { t = started; pid = p; label; seq });
+  (* One record copy per branch (a zero-step program completes on the spot,
+     so that branch pays [complete_call]'s copy instead of a [procs] one). *)
   match program with
-  | Program.Return v -> complete_call t p r v
-  | Program.Step _ -> { t with procs = Pid_map.add p (Running r) t.procs }
+  | Program.Return v ->
+    complete_call
+      { t with
+        trace_rev;
+        clock = started + 1;
+        participated = Pid_set.add p t.participated;
+        seq_by_pid = Pid_map.add p (seq + 1) t.seq_by_pid }
+      p r v
+  | Program.Step _ ->
+    { t with
+      trace_rev;
+      clock = started + 1;
+      participated = Pid_set.add p t.participated;
+      seq_by_pid = Pid_map.add p (seq + 1) t.seq_by_pid;
+      procs = Pid_map.add p (Running r) t.procs }
 
 let advance_gen ~record ?(check : Op.value option) t p =
   let r =
@@ -199,8 +272,8 @@ let advance_gen ~record ?(check : Op.value option) t p =
   match r.program with
   | Program.Return _ -> assert false (* begin/advance never leave a Return *)
   | Program.Step (inv, k) ->
-    let t =
-      if record then { t with trace_rev = E_advance p :: t.trace_rev } else t
+    let trace_rev =
+      if record && not t.lean then E_advance p :: t.trace_rev else t.trace_rev
     in
     let { Memory.memory; response; wrote; read_from } =
       Memory.apply t.mem ~pid:p inv
@@ -226,53 +299,77 @@ let advance_gen ~record ?(check : Op.value option) t p =
       Cost_model.account t.model p inv ~wrote
     in
     (match t.tracer with Some tr -> Obs.Trace.disarm tr | None -> ());
-    let t = tick { t with mem = memory; model } in
-    let step =
-      { History.time = t.clock - 1;
-        pid = p;
-        inv;
-        response;
-        wrote;
-        read_from;
-        home = Var.layout_home t.layout (Op.addr_of inv);
-        rmr;
-        messages;
-        call_seq = r.seq }
+    let time = t.clock in
+    (* The step record (and its trace event) exists only in full-history
+       mode; lean mode keeps every counter below but allocates neither. *)
+    let steps_rev =
+      if t.lean then t.steps_rev
+      else begin
+        let step =
+          { History.time;
+            pid = p;
+            inv;
+            response;
+            wrote;
+            read_from;
+            home = Var.layout_home t.layout (Op.addr_of inv);
+            rmr;
+            messages;
+            call_seq = r.seq }
+        in
+        emit_ev t
+          (Obs.Event.Op_step
+             { t = time;
+               pid = p;
+               kind = Op.kind_name (Op.kind inv);
+               addr = Op.addr_of inv;
+               var = Var.layout_name t.layout (Op.addr_of inv);
+               home =
+                 (match step.History.home with
+                 | Var.Module i -> Obs.Event.Module i
+                 | Var.Shared -> Obs.Event.Shared);
+               response;
+               wrote;
+               rmr;
+               messages;
+               model = Cost_model.name model;
+               call_seq = r.seq });
+        step :: t.steps_rev
+      end
     in
-    emit_ev t
-      (Obs.Event.Op_step
-         { t = step.History.time;
-           pid = p;
-           kind = Op.kind_name (Op.kind inv);
-           addr = Op.addr_of inv;
-           var = Var.layout_name t.layout (Op.addr_of inv);
-           home =
-             (match step.History.home with
-             | Var.Module i -> Obs.Event.Module i
-             | Var.Shared -> Obs.Event.Shared);
-           response;
-           wrote;
-           rmr;
-           messages;
-           model = Cost_model.name model;
-           call_seq = r.seq });
-    let r =
-      { r with
-        run_rmrs = (r.run_rmrs + if rmr then 1 else 0);
-        run_steps = r.run_steps + 1 }
-    in
-    let t =
-      { t with
-        steps_rev = step :: t.steps_rev;
-        rmr_by_pid =
-          (if rmr then Pid_map.add p (find_count t.rmr_by_pid p + 1) t.rmr_by_pid
-           else t.rmr_by_pid);
-        steps_by_pid = Pid_map.add p (find_count t.steps_by_pid p + 1) t.steps_by_pid }
-    in
+    let run_rmrs = (r.run_rmrs + if rmr then 1 else 0) in
+    let run_steps = r.run_steps + 1 in
+    let total_rmrs_c = (t.total_rmrs_c + if rmr then 1 else 0) in
+    let total_messages_c = t.total_messages_c + messages in
+    (* Exactly one machine copy per step (the per-process step/RMR maps are
+       folded at call end, not here): the stepping path allocates the new
+       memory, the step's own bookkeeping, and nothing else. *)
     (match k response with
-    | Program.Return v -> complete_call t p { r with program = Program.Return v } v
+    | Program.Return v ->
+      complete_call
+        { t with
+          mem = memory;
+          model;
+          clock = time + 1;
+          trace_rev;
+          steps_rev;
+          last_resp = Some response;
+          total_rmrs_c;
+          total_messages_c }
+        p
+        { r with program = Program.Return v; run_rmrs; run_steps }
+        v
     | Program.Step _ as program ->
-      { t with procs = Pid_map.add p (Running { r with program }) t.procs })
+      { t with
+        mem = memory;
+        model;
+        clock = time + 1;
+        trace_rev;
+        steps_rev;
+        last_resp = Some response;
+        total_rmrs_c;
+        total_messages_c;
+        procs = Pid_map.add p (Running { r with program; run_rmrs; run_steps }) t.procs })
 
 let begin_call t p ~label program = begin_call_gen ~record:true t p ~label program
 
@@ -283,7 +380,9 @@ let terminate t p =
   | Idle -> ()
   | Running _ -> invalid_arg "Sim.terminate: process mid-call"
   | Terminated -> invalid_arg "Sim.terminate: already terminated");
-  let t = { t with trace_rev = E_terminate p :: t.trace_rev } in
+  let t =
+    if t.lean then t else { t with trace_rev = E_terminate p :: t.trace_rev }
+  in
   let t = tick t in
   emit_ev t (Obs.Event.Proc_exit { t = t.clock - 1; pid = p; crashed = false });
   { t with
@@ -295,7 +394,11 @@ let terminate t p =
    call").  The interrupted call is recorded as begun-but-unfinished, which
    is exactly how Specification 4.1 treats it: never judged. *)
 let crash_gen ~record t p =
-  let t = if record then { t with trace_rev = E_crash p :: t.trace_rev } else t in
+  let t =
+    if record && not t.lean then
+      { t with trace_rev = E_crash p :: t.trace_rev }
+    else t
+  in
   let t = tick t in
   let t =
     match proc_state t p with
@@ -315,7 +418,21 @@ let crash_gen ~record t p =
         (Obs.Event.Call_crash
            { t = t.clock - 1; pid = p; label = r.label; seq = r.seq;
              rmrs = r.run_rmrs; steps = r.run_steps });
-      { t with calls_rev = call :: t.calls_rev }
+      { t with
+        calls_rev = call :: t.calls_rev;
+        last_by_pid = Pid_map.add p None t.last_by_pid;
+        (* the interrupted call is finished now: fold its tallies, as
+           [complete_call] does for completed calls *)
+        rmr_by_pid =
+          (if r.run_rmrs = 0 then t.rmr_by_pid
+           else
+             Pid_map.add p (find_count t.rmr_by_pid p + r.run_rmrs) t.rmr_by_pid);
+        steps_by_pid =
+          (if r.run_steps = 0 then t.steps_by_pid
+           else
+             Pid_map.add p
+               (find_count t.steps_by_pid p + r.run_steps)
+               t.steps_by_pid) }
   in
   emit_ev t (Obs.Event.Proc_exit { t = t.clock - 1; pid = p; crashed = true });
   { t with
@@ -340,13 +457,19 @@ let run_call ?fuel t p ~label program =
 
 (* --- accounting views --- *)
 
-let rmrs t p = find_count t.rmr_by_pid p
+(* Per-process tallies: the finished-calls fold plus the in-flight call's
+   own counters (kept in its [run] record so stepping updates no map). *)
+let rmrs t p =
+  find_count t.rmr_by_pid p
+  + (match proc_state t p with Running r -> r.run_rmrs | Idle | Terminated -> 0)
 
-let total_rmrs t = History.total_rmrs t.steps_rev
+let total_rmrs t = t.total_rmrs_c
 
-let total_messages t = History.total_messages t.steps_rev
+let total_messages t = t.total_messages_c
 
-let step_count t p = find_count t.steps_by_pid p
+let step_count t p =
+  find_count t.steps_by_pid p
+  + (match proc_state t p with Running r -> r.run_steps | Idle | Terminated -> 0)
 
 let call_count t p = find_count t.seq_by_pid p
 
@@ -354,16 +477,16 @@ let completed_count t p = find_count t.done_by_pid p
 
 let last_step t = match t.steps_rev with [] -> None | s :: _ -> Some s
 
+let last_response t = t.last_resp
+
 let ends t = List.rev t.ends_rev
 
-(* The outcome of the process's most recent call, pending calls excluded.
-   [calls_rev] is newest-first, so the first call of [p] is its latest; a
-   crashed latest call has no result and must yield [None] rather than the
-   result of some earlier completed call. *)
+(* The outcome of the process's most recent call, pending calls excluded:
+   the [last_by_pid] mirror of the newest calls_rev record — O(log n)
+   instead of a scan of the recorded history, and independent of whether
+   the machine keeps one. *)
 let last_result t p =
-  match List.find_opt (fun (c : History.call) -> c.History.c_pid = p) t.calls_rev with
-  | Some c -> c.History.c_result
-  | None -> None
+  match Pid_map.find_opt p t.last_by_pid with Some r -> r | None -> None
 
 let calls_of t p =
   List.rev
@@ -388,6 +511,8 @@ let responses_by_pid t keep =
    chronological order. *)
 
 let replay ?(check = true) ~keep t =
+  if t.lean then
+    invalid_arg "Sim.replay: a lean machine keeps no replayable trace";
   let expected = if check then responses_by_pid t keep else Pid_map.empty in
   let fresh = create ~model:t.model0 ~layout:t.layout ~n:t.n in
   let step_one (sim, exp) ev =
@@ -432,7 +557,16 @@ let pp_proc_state ppf = function
 
 let pp ppf t =
   Fmt.pf ppf "sim: n=%d clock=%d steps=%d rmrs=%d@." t.n t.clock
-    (List.length t.steps_rev) (total_rmrs t);
+    (Pid_map.fold
+       (fun _ c acc -> acc + c)
+       t.steps_by_pid
+       (Pid_map.fold
+          (fun _ st acc ->
+            match st with
+            | Running r -> acc + r.run_steps
+            | Idle | Terminated -> acc)
+          t.procs 0))
+    (total_rmrs t);
   Pid_set.iter
     (fun p -> Fmt.pf ppf "  p%d: %a@." p pp_proc_state (proc_state t p))
     t.participated

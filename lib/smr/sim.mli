@@ -31,6 +31,22 @@ val create : model:Cost_model.t -> layout:Var.layout -> n:int -> t
 (** A machine with [n] processes, all idle, memory in its initial state,
     and no tracer attached. *)
 
+val lean_mode : t -> t
+(** The same machine with per-step history accumulation switched off: from
+    this point, no {!History.step} records ([steps] stays empty, so no step
+    is traced as an {!Obs.Event.Op_step} either) and no replayable trace
+    ({!replay} and {!erase} raise [Invalid_argument]) are kept.  Every
+    counter — clock, per-process and total RMR/message/step tallies, call
+    ordinals, completed counts, {!last_result}, completed-call records,
+    [ends] — is maintained exactly as in full mode.  This is {!Explore}'s
+    stepping mode: the checker's dedup/POR machinery and its property
+    contract consume only counters and call records, and the two per-step
+    accumulators dominate allocation on the search hot path.  Must be
+    applied to a machine with no recorded history (raises otherwise).
+    See docs/MODEL.md, "Exploration fast path". *)
+
+val is_lean : t -> bool
+
 val tracer : t -> Obs.Trace.t option
 
 val with_tracer : t -> Obs.Trace.t option -> t
@@ -87,12 +103,19 @@ val run_call : ?fuel:int -> t -> Op.pid -> label:string -> Op.value Program.t ->
 (** {1 History and accounting} *)
 
 val steps : t -> History.step list
-(** Chronological list of executed steps. *)
+(** Chronological list of executed steps; always empty in lean mode. *)
 
 val calls : t -> History.call list
 (** Completed and crashed calls in completion order, followed by calls
     still in flight (begun, unfinished).  Pending calls matter to
     Specification 4.1, which quantifies over calls that have {e begun}. *)
+
+val fold_calls : ('a -> History.call -> 'a) -> 'a -> t -> 'a
+(** Fold over exactly the calls [calls] returns, in unspecified order,
+    without materializing the list.  Meant for properties evaluated at
+    every search node: interval-order checks depend on call timestamps,
+    never on list position, so they need not pay the per-evaluation copy
+    [calls] performs. *)
 
 val calls_of : t -> Op.pid -> History.call list
 
@@ -117,7 +140,13 @@ val completed_count : t -> Op.pid -> int
 (** Number of calls the process has completed; crashed calls never count. *)
 
 val last_step : t -> History.step option
-(** The most recently executed step, if any.  O(1). *)
+(** The most recently executed step, if any.  O(1).  Always [None] in lean
+    mode, which keeps no step records — use {!last_response} for the datum
+    the explorer needs. *)
+
+val last_response : t -> Op.value option
+(** Response of the most recently executed step, if any — available in
+    both full and lean mode, O(1). *)
 
 val ends : t -> (Op.pid * int * bool) list
 (** Terminations and crashes in chronological order: process, the tick at
@@ -136,7 +165,8 @@ val replay : ?check:bool -> keep:(Op.pid -> bool) -> t -> t
 (** Re-execute the machine's trace, dropping every event of processes not
     kept.  With [check] (default), every surviving step's response is
     compared against the original and {!Replay_divergence} is raised on any
-    difference — the witness that the erased processes were visible. *)
+    difference — the witness that the erased processes were visible.
+    Raises [Invalid_argument] on a lean machine, which keeps no trace. *)
 
 val erase : t -> Op.pid list -> t
 (** [replay] keeping everyone except the given processes. *)

@@ -55,17 +55,24 @@ let render ?(width = 9) sim =
     Buffer.add_string buf (pad (Printf.sprintf "p%d" p))
   done;
   Buffer.add_char buf '\n';
+  (* One probe of [cells] per (tick, process), written into a reused row
+     buffer — the former per-tick association list cost a second, linear
+     lookup per column, making each printed row quadratic in n. *)
+  let row = Array.make n "." in
   for t = 0 to Sim.clock sim - 1 do
-    let row =
-      List.filter_map
-        (fun p -> Hashtbl.find_opt cells (t, p) |> Option.map (fun c -> (p, c)))
-        (List.init n Fun.id)
-    in
-    if row <> [] then begin
+    let any = ref false in
+    for p = 0 to n - 1 do
+      row.(p) <-
+        (match Hashtbl.find_opt cells (t, p) with
+        | Some c ->
+          any := true;
+          c
+        | None -> ".")
+    done;
+    if !any then begin
       Buffer.add_string buf (pad (string_of_int t));
       for p = 0 to n - 1 do
-        Buffer.add_string buf
-          (pad (match List.assoc_opt p row with Some c -> c | None -> "."))
+        Buffer.add_string buf (pad row.(p))
       done;
       Buffer.add_char buf '\n'
     end

@@ -272,6 +272,96 @@ let test_mutation_caught () =
   check_true "jobs=4 reports the same violating history"
     (violating_calls 4 = c1)
 
+(* --- lean vs. full stepping --- *)
+
+let test_lean_matches_full () =
+  (* The explorer steps a lean machine by default; exploring with full
+     history must change nothing observable: same verdict, same violating
+     history (if any), and every jobs-invariant counter identical — the
+     property-preservation argument of docs/MODEL.md, "Exploration fast
+     path", checked differentially on reference configurations and on a
+     mutant that violates the specification. *)
+  let run_pair (module A : Signaling.POLLING) ~n ~waiters ~polls =
+    let layout, scripts = scripts_for (module A) ~n ~waiters ~polls in
+    let run lean =
+      Explore.check ~lean ~layout ~model:(Cost_model.dsm layout) ~n ~scripts
+        ~property:spec_ok ()
+    in
+    (run true, run false)
+  in
+  let check_pair name (lean, full) =
+    check_true (name ^ ": every field but wall time agrees")
+      (comparable lean = comparable full)
+  in
+  check_pair "cc-flag" (run_pair (module Cc_flag) ~n:3 ~waiters:[ 1; 2 ] ~polls:2);
+  check_pair "dsm-single"
+    (run_pair (module Dsm_single_waiter) ~n:2 ~waiters:[ 1 ] ~polls:3);
+  let lean, full = run_pair (module Broken_cc_flag) ~n:3 ~waiters:[ 1; 2 ] ~polls:2 in
+  check_pair "broken-cc-flag" (lean, full);
+  match (lean.Explore.violation, full.Explore.violation) with
+  | Some ls, Some fs ->
+    check_true "lean violation machine keeps no step records"
+      (Sim.steps ls = []);
+    check_true "full violation machine keeps them" (Sim.steps fs <> [])
+  | _ -> Alcotest.fail "mutation not caught on both sides"
+
+let test_fast_property_agrees () =
+  (* [Signaling.polling_ok] (the allocation-free form the CLI feeds the
+     explorer) must be verdict-equivalent to the violation-listing checker
+     on both a correct algorithm and a broken one. *)
+  let run (module A : Signaling.POLLING) ~n ~waiters property =
+    let layout, scripts = scripts_for (module A) ~n ~waiters ~polls:2 in
+    Explore.check ~layout ~model:(Cost_model.dsm layout) ~n ~scripts ~property ()
+  in
+  let slow = run (module Broken_cc_flag) ~n:3 ~waiters:[ 1; 2 ] spec_ok in
+  let fast =
+    run (module Broken_cc_flag) ~n:3 ~waiters:[ 1; 2 ] Signaling.polling_ok
+  in
+  check_true "same violating history on the mutant"
+    (Option.map Sim.calls slow.Explore.violation
+    = Option.map Sim.calls fast.Explore.violation);
+  check_true "violation actually found" (fast.Explore.violation <> None);
+  let clean = run (module Cc_flag) ~n:3 ~waiters:[ 1; 2 ] Signaling.polling_ok in
+  check_true "clean algorithm stays clean" (clean.Explore.violation = None)
+
+(* --- budget determinism and fingerprint interning --- *)
+
+let test_capped_jobs_deterministic () =
+  (* A budget that stops the search mid-subtree: the shared lease pool is
+     drained first-come-first-served, so reconciliation must restore the
+     canonical accounting — every number identical at every jobs. *)
+  let layout, scripts =
+    scripts_for (module Cc_flag) ~n:4 ~waiters:[ 1; 2; 3 ] ~polls:2
+  in
+  let run jobs =
+    Explore.check ~max_histories:500 ~jobs ~layout
+      ~model:(Cost_model.dsm layout) ~n:4 ~scripts ~property:spec_ok ()
+  in
+  let r1 = run 1 in
+  check_false "capped" r1.Explore.complete;
+  check_int "stops exactly at the budget" 500 r1.Explore.histories;
+  check_true "jobs=2 identical" (comparable (run 2) = comparable r1);
+  check_true "jobs=4 identical" (comparable (run 4) = comparable r1)
+
+let test_fp_intern_ids () =
+  (* Two distinct keys forced onto one hash: distinct, stable, dense ids;
+     the collision is counted; ids survive table growth. *)
+  let t = Fp_intern.create ~equal:String.equal () in
+  let id_a = Fp_intern.intern t ~hash:42 "a" in
+  let id_b = Fp_intern.intern t ~hash:42 "b" in
+  check_int "first id is 0" 0 id_a;
+  check_int "colliding key gets the next id" 1 id_b;
+  check_int "two distinct keys" 2 (Fp_intern.distinct t);
+  check_int "one collision counted" 1 (Fp_intern.collisions t);
+  check_int "re-interning is stable" id_a (Fp_intern.intern t ~hash:42 "a");
+  check_int "for both keys" id_b (Fp_intern.intern t ~hash:42 "b");
+  check_int "re-interning adds nothing" 2 (Fp_intern.distinct t);
+  for i = 2 to 2000 do
+    ignore (Fp_intern.intern t ~hash:(i * 7919) (string_of_int i))
+  done;
+  check_int "ids survive resizes" id_a (Fp_intern.intern t ~hash:42 "a");
+  check_int "all keys kept" 2001 (Fp_intern.distinct t)
+
 let suite =
   [ case "interleaving count" test_count_basics;
     case "history cap respected" test_count_respects_cap;
@@ -290,4 +380,8 @@ let suite =
     case "3 waiters x 2 polls enumerates exhaustively"
       test_previously_infeasible_scope;
     case "verdict identical across jobs" test_jobs_deterministic;
-    case "mutation caught identically at every jobs" test_mutation_caught ]
+    case "mutation caught identically at every jobs" test_mutation_caught;
+    case "lean stepping changes nothing observable" test_lean_matches_full;
+    case "fast spec property agrees with the checker" test_fast_property_agrees;
+    case "capped search identical at every jobs" test_capped_jobs_deterministic;
+    case "fingerprint interning: dense stable ids" test_fp_intern_ids ]

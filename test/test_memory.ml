@@ -147,6 +147,43 @@ let prop_matches_reference =
       in
       List.for_all (fun a -> Memory.get final a = get_ref a) [ 0; 1; 2; 3 ])
 
+(* --- incremental behavioral hash (the explorer's dedup hot path) --- *)
+
+let apply_m m pid inv = (Memory.apply m ~pid inv).Memory.memory
+
+let test_fp_hash_order_independent () =
+  let mem, x, y = setup () in
+  let a = Var.addr x and b = Var.addr y in
+  let m_ab = apply_m (apply_m mem 1 (Op.Write (a, 5))) 2 (Op.Write (b, 9)) in
+  let m_ba = apply_m (apply_m mem 2 (Op.Write (b, 9))) 1 (Op.Write (a, 5)) in
+  check_true "independent writes commute in the hash"
+    (Memory.fp_hash m_ab = Memory.fp_hash m_ba);
+  check_true "and in the structural comparison"
+    (Memory.same_fingerprint m_ab m_ba)
+
+let test_fp_writeback_restores () =
+  let mem, x, _ = setup () in
+  let a = Var.addr x in
+  (* x starts at 7: write it away, then back.  Only behavior counts — the
+     last-writer/writer-set bookkeeping the write-back leaves behind feeds
+     the Section 6 analyses, not operation responses. *)
+  let m1 = apply_m mem 1 (Op.Write (a, 42)) in
+  check_false "changed cell, distinct fingerprint"
+    (Memory.same_fingerprint mem m1);
+  let m2 = apply_m m1 2 (Op.Write (a, 7)) in
+  check_int "written-back store hashes as never touched" (Memory.fp_hash mem)
+    (Memory.fp_hash m2);
+  check_true "and compares equal to it" (Memory.same_fingerprint mem m2)
+
+let test_fp_sees_load_links () =
+  let mem, x, _ = setup () in
+  let a = Var.addr x in
+  (* A valid load-link changes a future Sc's response, so it must be part
+     of the behavioral identity even though the cell's value is intact. *)
+  let m1 = apply_m mem 1 (Op.Ll a) in
+  check_false "valid link is observable" (Memory.same_fingerprint mem m1);
+  check_true "hash moved with it" (Memory.fp_hash mem <> Memory.fp_hash m1)
+
 let suite =
   [ case "initial values" test_initial_values;
     case "write updates value and writer" test_write_updates;
@@ -158,4 +195,7 @@ let suite =
     case "sc broken by interfering write" test_sc_broken_by_interfering_write;
     case "sc survives trivial operations" test_sc_not_broken_by_read;
     case "competing links: one sc wins" test_two_links;
+    case "fp hash: independent writes commute" test_fp_hash_order_independent;
+    case "fp hash: write-back restores identity" test_fp_writeback_restores;
+    case "fp hash: load-links are observable" test_fp_sees_load_links;
     prop_matches_reference ]

@@ -217,6 +217,59 @@ let prop_erasure_preserves_survivor_rmrs =
         (fun p -> p = victim || Sim.rmrs erased p = Sim.rmrs sim p)
         (List.init k Fun.id))
 
+(* --- lean mode (the explorer's history-free stepping) --- *)
+
+let test_lean_counters_match_full () =
+  (* The same run, lean and full: every counter and call record agrees;
+     only the per-step accumulators differ (empty when lean). *)
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let a = Var.addr x in
+  let drive sim0 =
+    let sim, _ =
+      Sim.run_call sim0 0 ~label:"a" (Program.step (Op.Write (a, 5)))
+    in
+    fst (Sim.run_call sim 1 ~label:"b" (Program.step (Op.Read a)))
+  in
+  let fresh () = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n:2 in
+  let full = drive (fresh ()) in
+  let lean = drive (Sim.lean_mode (fresh ())) in
+  check_true "lean flagged" (Sim.is_lean lean);
+  check_false "full not flagged" (Sim.is_lean full);
+  check_int "total rmrs agree" (Sim.total_rmrs full) (Sim.total_rmrs lean);
+  check_int "per-pid rmrs agree" (Sim.rmrs full 1) (Sim.rmrs lean 1);
+  check_int "step counts agree" (Sim.step_count full 0) (Sim.step_count lean 0);
+  check_true "call records agree" (Sim.calls full = Sim.calls lean);
+  check_true "last results agree"
+    (Sim.last_result full 1 = Sim.last_result lean 1);
+  check_true "full machine keeps steps" (Sim.steps full <> []);
+  check_true "lean machine keeps none" (Sim.steps lean = [])
+
+let test_lean_replay_rejected () =
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let sim = Sim.lean_mode (Sim.create ~model:(Cost_model.dsm layout) ~layout ~n:1) in
+  let sim, _ =
+    Sim.run_call sim 0 ~label:"a" (Program.step (Op.Read (Var.addr x)))
+  in
+  Alcotest.check_raises "replay needs a trace"
+    (Invalid_argument "Sim.replay: a lean machine keeps no replayable trace")
+    (fun () -> ignore (Sim.replay ~keep:(fun _ -> true) sim))
+
+let test_lean_mode_rejects_history () =
+  let ctx = Var.Ctx.create () in
+  let x = Var.Ctx.int ctx ~name:"x" ~home:Var.Shared 0 in
+  let layout = Var.Ctx.freeze ctx in
+  let sim = Sim.create ~model:(Cost_model.dsm layout) ~layout ~n:1 in
+  let sim, _ =
+    Sim.run_call sim 0 ~label:"a" (Program.step (Op.Read (Var.addr x)))
+  in
+  Alcotest.check_raises "lean_mode only on a fresh machine"
+    (Invalid_argument "Sim.lean_mode: machine already has recorded history")
+    (fun () -> ignore (Sim.lean_mode sim))
+
 let suite =
   [ case "call lifecycle" test_call_lifecycle;
     case "immediate return" test_immediate_return;
@@ -231,4 +284,7 @@ let suite =
     case "FAI chains defeat erasure" test_erase_fai_chain_diverges;
     case "blind write chains allow erasure" test_erase_blind_write_chain_ok;
     case "erasure preserves mid-call state" test_erase_mid_call_preserves_state;
+    case "lean run matches full run's accounting" test_lean_counters_match_full;
+    case "lean machine refuses replay" test_lean_replay_rejected;
+    case "lean_mode refuses recorded history" test_lean_mode_rejects_history;
     prop_erasure_preserves_survivor_rmrs ]
