@@ -295,11 +295,62 @@ let explore_json_table () =
           measure "states_per_sec"; measure "histories"; measure "complete" ]
     [ row 1; row 2 ]
 
+(* Flat-engine throughput under the open-system workload driver — the
+   figures the struct-of-arrays refactor is judged by: states/second,
+   resident bytes per process, and minor-heap words allocated per step.
+   The engine itself allocates nothing in steady state; what remains is
+   the bounded constant the free-monad interpretation costs per effect
+   (continuation closures and the boxed result), independent of n and k —
+   CI asserts the per-step figure stays a small constant. *)
+let load_json_table () =
+  let scenario algorithm model =
+    let m = Option.get (Core.Experiment.find_algorithm algorithm) in
+    Core.Loadgen.scenario ~ways:2 ~algorithm:m ~model
+      { Workload.Driver.default_spec with
+        seed = 6;
+        waiters = 10_000;
+        polls_per_waiter = 2;
+        signals = 16;
+        signal_every = max 1 (4 * 10_000 / 16) }
+  in
+  let row sc =
+    (* warm-up run excluded from the allocation window: first-touch work
+       (array growth in the driver, cache population) is not steady state *)
+    ignore (Core.Loadgen.run sc);
+    let w0 = Gc.minor_words () in
+    let r, t = Core.Loadgen.timed sc in
+    let words = Gc.minor_words () -. w0 in
+    let (module A : Core.Signaling.POLLING) = sc.Core.Loadgen.sc_algorithm in
+    Core.Results.
+      [ text A.name;
+        text (Core.Scenario.model_tag_name sc.Core.Loadgen.sc_model);
+        int sc.Core.Loadgen.sc_spec.Workload.Driver.waiters;
+        int t.Core.Loadgen.steps;
+        float ~digits:4 t.Core.Loadgen.elapsed_s;
+        float ~digits:0 t.Core.Loadgen.states_per_sec;
+        int t.Core.Loadgen.bytes_per_process;
+        float ~digits:1
+          (words /. float_of_int (max 1 r.Workload.Driver.r_steps)) ]
+  in
+  Core.Results.make ~experiment:"bench" ~part:"load"
+    ~title:"Flat-engine open-system throughput (k=10000, 16 signals)"
+    ~claim:
+      "states/second and minor-words/step of the flat simulation engine \
+       under the workload driver"
+    ~params:Core.Results.[ ("k", int 10_000); ("signals", int 16) ]
+    ~columns:
+      Core.Results.
+        [ param "algorithm"; param "model"; param "k"; measure "steps";
+          measure "wall_s"; measure "states_per_sec"; measure "bytes_per_proc";
+          measure "minor_words_per_step" ]
+    [ row (scenario "cc-flag" `Cc_wt); row (scenario "dsm-broadcast" `Dsm) ]
+
 (* Stdout is the JSON document, nothing else: `bench --json > BENCH_N.json`
    must produce a valid file (see README, "Perf baseline"). *)
 let run_json () =
   print_string
-    (Core.Results.to_json_many [ micro_json_table (); explore_json_table () ])
+    (Core.Results.to_json_many
+       [ micro_json_table (); explore_json_table (); load_json_table () ])
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

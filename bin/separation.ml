@@ -561,6 +561,206 @@ let lint_cmd =
           independence relation.  Exits nonzero on any violation.")
     Term.(const run $ lint_n $ json $ mutants $ fuel $ names)
 
+(* `load` runs the open-system workload driver over the flat engine: waiters
+   arrive by a seeded arrival process, poll a few times and leave (or crash),
+   while pid 0 signals on a cadence.  Stdout carries only seed-determined
+   figures — CI diffs it across runs and --jobs levels — while wall-clock
+   throughput goes to stderr and, when asked, to the --perf-out JSON. *)
+let load_cmd =
+  let arrivals_conv =
+    let parse s =
+      let fail () =
+        Error
+          (`Msg
+            (Printf.sprintf
+               "bad arrival spec %S (uniform:GAP | poisson:MEAN | \
+                bursty:BURST,LULL)"
+               s))
+      in
+      match String.index_opt s ':' with
+      | None -> fail ()
+      | Some i -> (
+        let kind = String.sub s 0 i in
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        try
+          match kind with
+          | "uniform" -> Ok (Workload.Arrivals.Uniform (int_of_string rest))
+          | "poisson" -> Ok (Workload.Arrivals.Poisson (float_of_string rest))
+          | "bursty" -> (
+            match String.split_on_char ',' rest with
+            | [ b; l ] ->
+              Ok
+                (Workload.Arrivals.Bursty
+                   { burst = int_of_string b; mean_lull = float_of_string l })
+            | _ -> fail ())
+          | _ -> fail ()
+        with Failure _ -> fail ())
+    in
+    let print ppf a = Fmt.string ppf (Workload.Arrivals.spec_name a) in
+    Arg.conv (parse, print)
+  in
+  let algos =
+    Arg.(
+      value
+      & opt_all algo_conv []
+      & info [ "a"; "algorithm" ] ~docv:"NAME"
+          ~doc:
+            "Signaling algorithm(s) to drive (repeatable).  Default: \
+             cc-flag, dsm-broadcast and dsm-queue.")
+  in
+  let ks =
+    Arg.(
+      value
+      & opt_all int [ 1000 ]
+      & info [ "k"; "waiters" ] ~docv:"K"
+          ~doc:"Waiters that join over the run (repeatable).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "RNG seed; the whole stdout document is a function of the \
+             scenario grid and this seed.")
+  in
+  let polls =
+    Arg.(
+      value & opt int 2
+      & info [ "polls" ] ~docv:"P" ~doc:"Poll() budget per waiter.")
+  in
+  let signals =
+    Arg.(
+      value & opt int 8
+      & info [ "signals" ] ~docv:"S" ~doc:"Signal() calls pid 0 issues.")
+  in
+  let signal_every =
+    Arg.(
+      value & opt int 0
+      & info [ "signal-every" ] ~docv:"TICKS"
+          ~doc:
+            "Ticks between signal begins; 0 (default) spreads the signals \
+             across the arrival span.")
+  in
+  let arrivals =
+    Arg.(
+      value
+      & opt arrivals_conv (Workload.Arrivals.Poisson 2.0)
+      & info [ "arrivals" ] ~docv:"SPEC"
+          ~doc:
+            "Arrival process: $(b,uniform:GAP), $(b,poisson:MEAN) or \
+             $(b,bursty:BURST,LULL).")
+  in
+  let crash_prob =
+    Arg.(
+      value & opt float 0.0
+      & info [ "crash-prob" ] ~docv:"P"
+          ~doc:"Chance a beginning Poll() crashes mid-call.")
+  in
+  let leave_prob =
+    Arg.(
+      value & opt float 0.0
+      & info [ "leave-prob" ] ~docv:"P"
+          ~doc:"Chance a waiter leaves before exhausting its poll budget.")
+  in
+  let ways =
+    Arg.(
+      value & opt int 8
+      & info [ "ways" ] ~docv:"W"
+          ~doc:"Cache lines per process under a CC model.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"J"
+          ~doc:
+            "Domains to fan the scenario grid across.  Stdout bytes are \
+             identical for every value.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the stable JSON table on stdout.")
+  in
+  let perf_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perf-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write wall-clock figures (states/sec, bytes/process) as \
+             JSON to $(docv).  Never byte-stable; keep it out of diffs.")
+  in
+  let run algos model ks seed polls signals signal_every arrivals crash_prob
+      leave_prob ways jobs json perf_out =
+    let algos =
+      match algos with
+      | [] ->
+        List.filter_map Core.Experiment.find_algorithm
+          [ "cc-flag"; "dsm-broadcast"; "dsm-queue" ]
+      | l -> l
+    in
+    let scenarios =
+      List.concat_map
+        (fun k ->
+          let spec =
+            { Workload.Driver.default_spec with
+              seed;
+              waiters = k;
+              polls_per_waiter = polls;
+              signals;
+              signal_every =
+                (if signal_every > 0 then signal_every
+                 else max 1 (4 * k / max 1 signals));
+              arrivals;
+              crash_prob;
+              leave_early_prob = leave_prob }
+          in
+          List.map
+            (fun algorithm -> Core.Loadgen.scenario ~ways ~algorithm ~model spec)
+            algos)
+        ks
+    in
+    let runs =
+      Core.Parallel.map ~jobs:(max 1 jobs)
+        (fun sc ->
+          let r, t = Core.Loadgen.timed sc in
+          (sc, r, t))
+        scenarios
+    in
+    let table = Core.Loadgen.table (List.map (fun (sc, r, _) -> (sc, r)) runs) in
+    if json then print_string (Core.Results.to_json table)
+    else Core.Report.print (Core.Results.to_report table);
+    (* Wall-clock figures: stderr and --perf-out only. *)
+    List.iter
+      (fun (sc, (r : Workload.Driver.report), (t : Core.Loadgen.timing)) ->
+        let (module A : Core.Signaling.POLLING) = sc.Core.Loadgen.sc_algorithm in
+        Fmt.epr
+          "load: %s/%s k=%d: %d steps in %.2fs (%.0f states/sec, %d \
+           bytes/process)%s@."
+          A.name r.Workload.Driver.r_model
+          sc.Core.Loadgen.sc_spec.Workload.Driver.waiters t.Core.Loadgen.steps
+          t.Core.Loadgen.elapsed_s t.Core.Loadgen.states_per_sec
+          t.Core.Loadgen.bytes_per_process
+          (if r.Workload.Driver.r_fuel_exhausted then " FUEL EXHAUSTED" else ""))
+      runs;
+    match perf_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Core.Loadgen.perf_json (List.map (fun (sc, _, t) -> (sc, t)) runs));
+      close_out oc
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive an open-system heavy-traffic workload (arrivals, churn, \
+          crashes) over the flat simulation engine and report streaming \
+          RMR/latency accounting; scales to k = 10^6 waiters.")
+    Term.(
+      const run $ algos $ model $ ks $ seed $ polls $ signals $ signal_every
+      $ arrivals $ crash_prob $ leave_prob $ ways $ jobs $ json $ perf_out)
+
 let list_cmd =
   let run () =
     Fmt.pr "Experiments:@.";
@@ -598,4 +798,4 @@ let () =
        (Cmd.group
           (Cmd.info "separation" ~version:"1.0.0" ~doc)
           [ run_cmd; adversary_cmd; explore_cmd; trace_cmd; tables_cmd;
-            experiments_cmd; lint_cmd; list_cmd ]))
+            experiments_cmd; lint_cmd; load_cmd; list_cmd ]))

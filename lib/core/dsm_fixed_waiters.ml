@@ -21,14 +21,14 @@ let primitives = [ Op.Reads_writes ]
 
 let flexibility = { Signaling.any_flexibility with waiters_fixed = true }
 
-type t = { targets : Op.pid list; v : bool Var.t array }
+type t = { targets : Op.pid list; v : bool Var.vec }
 
-(* Shared with [Dsm_broadcast]: flags for everyone, signal writes the given
-   target list. *)
+(* Shared with [Dsm_broadcast]: flags for everyone (a vec, so broadcast
+   instantiates at n = 10^6), signal writes the given target list. *)
 let create_targets ctx ~n ~targets =
   { targets;
     v =
-      Var.Ctx.bool_array ctx ~name:"V"
+      Var.Ctx.bool_vec ctx ~name:"V"
         ~home:(fun i -> Var.Module i)
         n
         (fun _ -> false) }
@@ -37,9 +37,19 @@ let create ctx (cfg : Signaling.config) =
   create_targets ctx ~n:cfg.Signaling.n ~targets:cfg.Signaling.waiters
 
 let signal t _p =
-  Program.seq (List.map (fun j -> Program.write t.v.(j) true) t.targets)
+  (* Built lazily, one write per target as the program unfolds: a broadcast
+     to 10^6 targets must not materialize a million-element program list up
+     front. *)
+  let rec go = function
+    | [] -> Program.return ()
+    | j :: rest ->
+      Program.Syntax.(
+        let* () = Program.write (Var.vec_get t.v j) true in
+        go rest)
+  in
+  go t.targets
 
-let poll t p = Program.read t.v.(p)
+let poll t p = Program.read (Var.vec_get t.v p)
 
 (* Lint claims: with the waiter set fixed at creation, Signal() writes just
    the declared targets' flags (at most n-1 remote) and Poll() is one local

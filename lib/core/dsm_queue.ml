@@ -31,8 +31,9 @@ let flexibility = Signaling.any_flexibility
 type t = {
   queue : Sync.Fai_queue.t;
   g : bool Var.t; (* global signal flag *)
-  v : bool Var.t array; (* v.(i) homed at module i *)
-  registered : bool Var.t array; (* per-process local memo *)
+  v : bool Var.vec; (* v[i] homed at module i, written by the signaler *)
+  registered : bool Var.vec; (* per-process local memo *)
+  observed : bool Var.vec; (* per-process local memo: saw G set at registration *)
 }
 
 let create ctx (cfg : Signaling.config) =
@@ -40,27 +41,44 @@ let create ctx (cfg : Signaling.config) =
   { queue = Sync.Fai_queue.create ctx ~capacity:n;
     g = Var.Ctx.bool ctx ~name:"G" ~home:Var.Shared false;
     v =
-      Var.Ctx.bool_array ctx ~name:"V" ~home:(fun i -> Var.Module i) n (fun _ -> false);
+      Var.Ctx.bool_vec ctx ~name:"V" ~home:(fun i -> Var.Module i) n (fun _ -> false);
     registered =
-      Var.Ctx.bool_array ctx ~name:"registered"
+      Var.Ctx.bool_vec ctx ~name:"registered"
+        ~home:(fun i -> Var.Module i)
+        n
+        (fun _ -> false);
+    observed =
+      Var.Ctx.bool_vec ctx ~name:"observed"
         ~home:(fun i -> Var.Module i)
         n
         (fun _ -> false) }
 
 let poll t p =
-  let* already = Program.read t.registered.(p) in
-  if already then Program.read t.v.(p)
+  let* already = Program.read (Var.vec_get t.registered p) in
+  if already then
+    let* saw = Program.read (Var.vec_get t.observed p) in
+    if saw then Program.return true else Program.read (Var.vec_get t.v p)
   else
-    let* () = Program.write t.registered.(p) true in
+    let* () = Program.write (Var.vec_get t.registered p) true in
     let* () = Sync.Fai_queue.enqueue t.queue p in
     (* Check G after enqueueing: closes the race with a Signal() that
        drained the queue before our registration landed. *)
-    Program.read t.g
+    let* g = Program.read t.g in
+    if not g then Program.return false
+    else
+      (* Memoize the observation in a local cell.  Registering after a
+         drain means v[p] stays false until the NEXT Signal(); without the
+         memo a later Poll() would answer false after a completed Signal()
+         — a Specification 4.1 violation that only open-system workloads
+         (waiters arriving between signals) expose. *)
+      let* () = Program.write (Var.vec_get t.observed p) true in
+      Program.return true
 
 let signal t _p =
   let* () = Program.write t.g true in
   let* _cursor =
-    Sync.Fai_queue.drain t.queue ~from:0 (fun q -> Program.write t.v.(q) true)
+    Sync.Fai_queue.drain t.queue ~from:0 (fun q ->
+        Program.write (Var.vec_get t.v q) true)
   in
   Program.return ()
 
@@ -71,7 +89,7 @@ let signal t _p =
    registration, E5). *)
 let claims ~n:_ =
   Analysis.Claims.
-    { single_writer = [ "G"; "V"; "registered" ];
+    { single_writer = [ "G"; "V"; "registered"; "observed" ];
       calls =
         [ ("signal", { spin = Remote_spin; dsm_rmrs = Unbounded });
           ("poll", { spin = No_spin; dsm_rmrs = Rmr 3 }) ] }

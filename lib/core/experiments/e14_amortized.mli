@@ -1,0 +1,7 @@
+(** E14 — open-system heavy traffic on the flat engine: amortized RMRs per
+    Signal across participation levels up to k = 10^6.  Expected shape:
+    cc-flag flat (O(1)), dsm-broadcast and dsm-queue growing linearly in k. *)
+
+val table : ?jobs:int -> ?ks:int list -> unit -> Results.table
+
+val spec : Experiment_def.spec

@@ -1,0 +1,8 @@
+(** E15 — waiter churn on the flat engine: bursty arrivals, crashes and
+    early leavers.  Expected shape: Spec 4.1 holds for every non-crashed
+    poll, cc-flag's per-Signal cost stays O(1), dsm-broadcast stays
+    Theta(k). *)
+
+val table : ?jobs:int -> ?k:int -> unit -> Results.table
+
+val spec : Experiment_def.spec

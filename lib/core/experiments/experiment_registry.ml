@@ -13,7 +13,9 @@ let builtin : Experiment_def.spec list =
     E10_gme.spec;
     E11_timing.spec;
     E12_caches.spec;
-    E13_blocking.spec ]
+    E13_blocking.spec;
+    E14_amortized.spec;
+    E15_churn.spec ]
 
 let extras : Experiment_def.spec list ref = ref []
 

@@ -1,0 +1,42 @@
+(** Open-system load generation: catalog algorithms under the flat engine
+    and the workload driver.  Shared by `separation load`, E14/E15 and the
+    determinism tests. *)
+
+type scenario = {
+  sc_algorithm : (module Signaling.POLLING);
+  sc_model : Scenario.model_tag;
+  sc_ways : int;
+  sc_ll_ways : int;
+  sc_spec : Workload.Driver.spec;
+}
+
+val scenario :
+  ?ways:int ->
+  ?ll_ways:int ->
+  algorithm:(module Signaling.POLLING) ->
+  model:Scenario.model_tag ->
+  Workload.Driver.spec ->
+  scenario
+
+val flat_model : ways:int -> Scenario.model_tag -> Smr.Flat_sim.model_spec
+
+val run : scenario -> Workload.Driver.report
+(** Deterministic: the report is a function of the scenario alone. *)
+
+type timing = {
+  elapsed_s : float;
+  states_per_sec : float;
+  steps : int;
+  bytes_per_process : int;
+}
+
+val timed : scenario -> Workload.Driver.report * timing
+(** Like {!run}, with a wall clock around it.  Timing figures must stay out
+    of deterministic output (stderr and [--perf-out] only). *)
+
+val table :
+  ?title:string -> (scenario * Workload.Driver.report) list -> Results.table
+(** One row per scenario; byte-deterministic for a fixed scenario list. *)
+
+val perf_json : (scenario * timing) list -> string
+(** The [--perf-out] sidecar (wall-clock figures; never diffed). *)

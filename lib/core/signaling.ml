@@ -237,9 +237,18 @@ let validate_config (flex : flexibility) (cfg : config) =
     | None -> Ok ()
   in
   let distinct role pids =
+    (* pids are already range-checked, so a bit per pid suffices — the open
+       system instantiates with k = 10^6 waiters, where the obvious
+       List.mem scan is a quadratic startup cost. *)
+    let seen = Bytes.make cfg.n '\000' in
     let rec dup = function
       | [] -> None
-      | p :: rest -> if List.mem p rest then Some p else dup rest
+      | p :: rest ->
+        if Bytes.get seen p = '\001' then Some p
+        else begin
+          Bytes.set seen p '\001';
+          dup rest
+        end
     in
     match dup pids with
     | Some p -> fail "%s pid %d listed more than once" role p

@@ -1,0 +1,110 @@
+(** Flat-state simulation engine: the mutable struct-of-arrays counterpart
+    of {!Sim} for heavy-traffic workloads.
+
+    Same machine semantics — operation responses, RMR/message billing, call
+    timestamps — but state lives in dense arrays indexed by address and by
+    process, so one step is O(1) work with no engine allocation and the
+    machine instantiates at n = 10^6 processes.  No history, no snapshots,
+    no replay: {!Sim} remains the oracle for the adversary, the explorer
+    and the differential tests. *)
+
+type complete_cb =
+  pid:Op.pid ->
+  label:string ->
+  seq:int ->
+  started:int ->
+  finished:int ->
+  crashed:bool ->
+  result:Op.value ->
+  rmrs:int ->
+  steps:int ->
+  unit
+(** Called at every call end.  [crashed = true] marks a call interrupted by
+    {!crash} ([result] is then meaningless and [finished] is the crash
+    tick); otherwise the call completed with [result] at tick [finished].
+    All arguments are immediate, so a callback invocation allocates
+    nothing. *)
+
+type model_spec =
+  | Dsm  (** static home-based billing, as {!Cost_model.dsm} *)
+  | Cc of { protocol : Cc.protocol; interconnect : Cc.interconnect; ways : int }
+      (** cache-coherent billing, as {!Cc.model}.  [ways] bounds each
+          process's cache lines (LRU); results match {!Cc}'s ideal
+          unbounded cache whenever every process's live footprint fits in
+          [ways] lines, and match [Cc] with [capacity = Some ways]
+          otherwise. *)
+
+val model_spec_name : model_spec -> string
+
+type t
+
+val create :
+  ?on_complete:complete_cb ->
+  ?ll_ways:int ->
+  model:model_spec ->
+  layout:Var.layout ->
+  n:int ->
+  unit ->
+  t
+(** [ll_ways] (default 4) bounds the concurrent load-links a process may
+    hold; exceeding it raises (no catalog algorithm holds more than one). *)
+
+val n : t -> int
+val layout : t -> Var.layout
+val clock : t -> int
+val model_name : t -> string
+
+val is_idle : t -> Op.pid -> bool
+val is_running : t -> Op.pid -> bool
+val is_terminated : t -> Op.pid -> bool
+
+val begin_call : t -> Op.pid -> label:string -> Op.value Program.t -> unit
+(** Start a call; a zero-step program completes immediately (the
+    [on_complete] callback fires before this returns). *)
+
+val advance : t -> Op.pid -> unit
+(** Execute the process's next operation; fires [on_complete] if the call
+    finishes. *)
+
+val skip_to : t -> int -> unit
+(** Advance the clock to [time] (no-op if already past): idle gaps in an
+    open-system workload, where no process has a step to take before the
+    next scheduled arrival. *)
+
+val terminate : t -> Op.pid -> unit
+
+val crash : t -> Op.pid -> unit
+(** Stop the process, mid-call allowed: the interrupted call is reported
+    to [on_complete] with [crashed = true], and its step/RMR tallies are
+    folded into the per-process totals, exactly as {!Sim.crash} does. *)
+
+val run_call :
+  ?fuel:int -> t -> Op.pid -> label:string -> Op.value Program.t -> Op.value
+(** Begin and advance to completion; returns the call's result. *)
+
+val rmrs : t -> Op.pid -> int
+(** RMRs across the process's finished calls plus its in-flight call. *)
+
+val step_count : t -> Op.pid -> int
+val call_count : t -> Op.pid -> int
+val completed_count : t -> Op.pid -> int
+
+val last_result : t -> Op.pid -> Op.value option
+(** Result of the latest finished call: [Some v] completed, [None] never
+    called or crashed — the same view {!Sim.last_result} gives. *)
+
+val total_rmrs : t -> int
+val total_messages : t -> int
+val total_steps : t -> int
+val completed_calls : t -> int
+val crashed_calls : t -> int
+
+val value : t -> Op.addr -> Op.value
+(** Current cell contents (the flat mirror of {!Memory.get}). *)
+
+val ll_valid : t -> Op.pid -> Op.addr -> bool
+(** Whether the process holds a valid load-link on the cell. *)
+
+val bytes_per_process : t -> int
+(** Resident engine state divided by [n]: the deterministic memory-footprint
+    figure E14 reports. *)

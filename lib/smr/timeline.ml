@@ -1,6 +1,9 @@
 (* ASCII rendering of a history: one column per process, one row per
    event-clock tick that carries an event.  Meant for the examples and the
-   CLI's --trace flag on small runs; a long history renders long.
+   CLI's --trace flag on small runs; open-system histories can have 10^6
+   processes and tens of millions of ticks, so the renderer caps both axes
+   and says so with an explicit "sampled" trailer instead of materializing
+   an unbounded grid.
 
    Cell vocabulary:  r7/w7/c7/L7/S7/F7/X7/T7 = read/write/cas/ll/sc/faa/
    fas/tas on address 7, suffixed with '*' when the step is an RMR under
@@ -23,13 +26,21 @@ let step_cell (s : History.step) =
     (Op.addr_of s.History.inv)
     (if s.History.rmr then "*" else "")
 
-let render ?(width = 9) sim =
+let render ?(width = 9) ?(max_cols = 64) ?(max_rows = 512) sim =
   let n = Sim.n sim in
+  let max_cols = max 1 max_cols and max_rows = max 1 max_rows in
+  let shown_n = min n max_cols in
   let cells = Hashtbl.create 256 in
+  (* Distinct event ticks among the SHOWN columns: rows are drawn from this
+     set, so the render cost is bounded by the events, not by the clock. *)
+  let ticks = Hashtbl.create 256 in
   let put time pid text =
-    (* Later writers win; begin/end cells never collide with steps because
-       each tick carries exactly one event. *)
-    Hashtbl.replace cells (time, pid) text
+    if pid < shown_n then begin
+      (* Later writers win; begin/end cells never collide with steps because
+         each tick carries exactly one event. *)
+      Hashtbl.replace cells (time, pid) text;
+      Hashtbl.replace ticks time ()
+    end
   in
   List.iter
     (fun (s : History.step) -> put s.History.time s.History.pid (step_cell s))
@@ -45,38 +56,48 @@ let render ?(width = 9) sim =
   (* Terminations and crashes occupy their own tick, so '#' never
      overwrites a step or call cell. *)
   List.iter (fun (pid, time, _crashed) -> put time pid "#") (Sim.ends sim);
+  let times =
+    let a = Array.make (Hashtbl.length ticks) 0 in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun t () ->
+        a.(!i) <- t;
+        incr i)
+      ticks;
+    Array.sort compare a;
+    a
+  in
+  let shown_rows = min (Array.length times) max_rows in
   let buf = Buffer.create 1024 in
   let pad s =
     let s = if String.length s > width then String.sub s 0 width else s in
     s ^ String.make (width - String.length s) ' '
   in
   Buffer.add_string buf (pad "t");
-  for p = 0 to n - 1 do
+  for p = 0 to shown_n - 1 do
     Buffer.add_string buf (pad (Printf.sprintf "p%d" p))
   done;
   Buffer.add_char buf '\n';
-  (* One probe of [cells] per (tick, process), written into a reused row
-     buffer — the former per-tick association list cost a second, linear
-     lookup per column, making each printed row quadratic in n. *)
-  let row = Array.make n "." in
-  for t = 0 to Sim.clock sim - 1 do
-    let any = ref false in
-    for p = 0 to n - 1 do
-      row.(p) <-
-        (match Hashtbl.find_opt cells (t, p) with
-        | Some c ->
-          any := true;
-          c
-        | None -> ".")
+  for r = 0 to shown_rows - 1 do
+    let t = times.(r) in
+    Buffer.add_string buf (pad (string_of_int t));
+    for p = 0 to shown_n - 1 do
+      Buffer.add_string buf
+        (pad
+           (match Hashtbl.find_opt cells (t, p) with
+           | Some c -> c
+           | None -> "."))
     done;
-    if !any then begin
-      Buffer.add_string buf (pad (string_of_int t));
-      for p = 0 to n - 1 do
-        Buffer.add_string buf (pad row.(p))
-      done;
-      Buffer.add_char buf '\n'
-    end
+    Buffer.add_char buf '\n'
   done;
+  if shown_n < n then
+    Buffer.add_string buf
+      (Printf.sprintf "[sampled: %d of %d process columns shown]\n" shown_n n);
+  if shown_rows < Array.length times then
+    Buffer.add_string buf
+      (Printf.sprintf "[sampled: %d of %d event ticks shown]\n" shown_rows
+         (Array.length times));
   Buffer.contents buf
 
-let print ?width sim = print_string (render ?width sim)
+let print ?width ?max_cols ?max_rows sim =
+  print_string (render ?width ?max_cols ?max_rows sim)

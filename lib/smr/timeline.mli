@@ -4,8 +4,15 @@
     Cells: [r7]/[w7]/[c7]/[L7]/[S7]/[F7]/[X7]/[T7] are
     read/write/CAS/LL/SC/FAA/FAS/TAS on address 7, with a [*] suffix when
     the step was an RMR under the run's primary model; [(label] begins a
-    call and [)=v] returns from it. *)
+    call and [)=v] returns from it.
 
-val render : ?width:int -> Sim.t -> string
+    Both axes are capped — [max_cols] (default 64) process columns and
+    [max_rows] (default 512) event-carrying ticks — and a truncated render
+    ends with explicit ["[sampled: ...]"] trailer lines, so rendering a
+    huge open-system history degrades to a sample instead of an unbounded
+    grid.  The defaults leave every small run (all the examples and
+    goldens) byte-identical to the uncapped renderer. *)
 
-val print : ?width:int -> Sim.t -> unit
+val render : ?width:int -> ?max_cols:int -> ?max_rows:int -> Sim.t -> string
+
+val print : ?width:int -> ?max_cols:int -> ?max_rows:int -> Sim.t -> unit

@@ -5,13 +5,25 @@
    (paper, Sec. 1-2).  A module either belongs to a process ([Module i]) or is
    a detached "shared" module remote to every process ([Shared]); the latter
    models globally allocated cells such as the counter of a shared queue.  In
-   the CC model homes are irrelevant: any cell can be cached anywhere. *)
+   the CC model homes are irrelevant: any cell can be cached anywhere.
+
+   Layouts are dense: addresses are allocated sequentially from 0, so the
+   frozen layout stores homes and initial values as flat int arrays indexed
+   by address — an O(1) array read on the cost-model hot path, and ~2 words
+   per cell instead of ~10 per map node.  Debug names are NOT materialized
+   per cell: a million-element vector would otherwise pay a [Printf] and a
+   string per element up front.  Instead the layout keeps one naming segment
+   per allocation call and renders "V[i]" on demand. *)
 
 type home = Module of Op.pid | Shared
 
 let pp_home ppf = function
   | Module i -> Fmt.pf ppf "module(p%d)" i
   | Shared -> Fmt.string ppf "shared"
+
+(* Homes packed into an int: [Shared] is -1, [Module i] is [i]. *)
+let home_code = function Shared -> -1 | Module i -> i
+let home_of_code c = if c < 0 then Shared else Module c
 
 type 'a t = {
   addr : Op.addr;
@@ -27,55 +39,122 @@ let home v = v.home
 let encode v x = v.encode x
 let decode v x = v.decode x
 
-module Addr_map = Map.Make (Int)
+(* A contiguous range of cells sharing one base name and encoding.  Unlike
+   ['a t array] (which materializes one record and one name string per
+   element), a vec is O(1) space regardless of length: element handles are
+   minted on demand by {!vec_get}.  This is what lets algorithms with
+   per-process state (queues, flag vectors) instantiate at k = 10^6. *)
+type 'a vec = {
+  v_base : Op.addr;
+  v_len : int;
+  v_name : string;
+  v_home : int -> home;
+  v_encode : 'a -> Op.value;
+  v_decode : Op.value -> 'a;
+}
+
+let vec_len v = v.v_len
+
+let vec_addr v i =
+  if i < 0 || i >= v.v_len then
+    invalid_arg
+      (Printf.sprintf "Var.vec_addr: index %d out of bounds for %s[0..%d)" i
+         v.v_name v.v_len)
+  else v.v_base + i
+
+let vec_get v i =
+  let addr = vec_addr v i in
+  { addr;
+    name = Printf.sprintf "%s[%d]" v.v_name i;
+    home = v.v_home i;
+    encode = v.v_encode;
+    decode = v.v_decode }
+
+(* One naming segment per allocation call: cells [base, base+len) are named
+   by [namer (a - base)]. *)
+type segment = { s_base : int; s_len : int; s_namer : int -> string }
 
 type layout = {
-  homes : home Addr_map.t;
-  inits : Op.value Addr_map.t;
-  names : string Addr_map.t;
   size : int;
+  homes : int array; (* home_code per address *)
+  inits : Op.value array;
+  segments : segment array; (* sorted by s_base, non-overlapping *)
 }
 
 let layout_home layout a =
-  match Addr_map.find_opt a layout.homes with
-  | Some h -> h
-  | None -> Shared
+  if a >= 0 && a < layout.size then home_of_code (Array.unsafe_get layout.homes a)
+  else Shared
 
 let layout_init layout a =
-  match Addr_map.find_opt a layout.inits with Some v -> v | None -> 0
+  if a >= 0 && a < layout.size then Array.unsafe_get layout.inits a else 0
+
+(* Raw code accessors for the flat engine: one bounds check, no variant
+   allocation.  [layout_home_code l a] is [home_code (layout_home l a)]. *)
+let layout_home_code layout a =
+  if a >= 0 && a < layout.size then Array.unsafe_get layout.homes a else -1
 
 let layout_name layout a =
-  match Addr_map.find_opt a layout.names with
-  | Some s -> s
-  | None -> Printf.sprintf "@%d" a
+  if a < 0 || a >= layout.size then Printf.sprintf "@%d" a
+  else begin
+    (* Binary search for the segment holding [a]. *)
+    let lo = ref 0 and hi = ref (Array.length layout.segments - 1) in
+    let found = ref None in
+    while !found = None && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let s = layout.segments.(mid) in
+      if a < s.s_base then hi := mid - 1
+      else if a >= s.s_base + s.s_len then lo := mid + 1
+      else found := Some (s.s_namer (a - s.s_base))
+    done;
+    match !found with Some n -> n | None -> Printf.sprintf "@%d" a
+  end
 
 let layout_size layout = layout.size
 
-let layout_addrs layout =
-  Addr_map.fold (fun a _ acc -> a :: acc) layout.homes [] |> List.rev
+let layout_addrs layout = List.init layout.size Fun.id
 
 module Ctx = struct
   type ctx = {
     mutable next : Op.addr;
-    mutable homes : home Addr_map.t;
-    mutable inits : Op.value Addr_map.t;
-    mutable names : string Addr_map.t;
+    mutable homes : int array; (* capacity-doubled; [0, next) is live *)
+    mutable inits : Op.value array;
+    mutable segs_rev : segment list;
+    mutable nsegs : int;
   }
 
   type nonrec 'a t = 'a t
+  type nonrec 'a vec = 'a vec
 
   let create () =
     { next = 0;
-      homes = Addr_map.empty;
-      inits = Addr_map.empty;
-      names = Addr_map.empty }
+      homes = Array.make 16 (-1);
+      inits = Array.make 16 0;
+      segs_rev = [];
+      nsegs = 0 }
+
+  let reserve ctx extra =
+    let needed = ctx.next + extra in
+    if needed > Array.length ctx.homes then begin
+      let cap = max needed (2 * Array.length ctx.homes) in
+      let homes = Array.make cap (-1) in
+      Array.blit ctx.homes 0 homes 0 ctx.next;
+      let inits = Array.make cap 0 in
+      Array.blit ctx.inits 0 inits 0 ctx.next;
+      ctx.homes <- homes;
+      ctx.inits <- inits
+    end
+
+  let push_seg ctx s =
+    ctx.segs_rev <- s :: ctx.segs_rev;
+    ctx.nsegs <- ctx.nsegs + 1
 
   let alloc ctx ~name ~home ~encode ~decode init =
     let addr = ctx.next in
+    reserve ctx 1;
     ctx.next <- addr + 1;
-    ctx.homes <- Addr_map.add addr home ctx.homes;
-    ctx.inits <- Addr_map.add addr (encode init) ctx.inits;
-    ctx.names <- Addr_map.add addr name ctx.names;
+    ctx.homes.(addr) <- home_code home;
+    ctx.inits.(addr) <- encode init;
+    push_seg ctx { s_base = addr; s_len = 1; s_namer = (fun _ -> name) };
     { addr; name; home; encode; decode }
 
   let int ctx ~name ~home init =
@@ -93,14 +172,59 @@ module Ctx = struct
     let decode v = if v < 0 then None else Some v in
     alloc ctx ~name ~home ~encode ~decode init
 
+  (* Range allocation: one segment, one home/init fill loop, zero
+     per-element records. *)
+  let alloc_vec ctx ~name ~home ~encode ~decode n init =
+    if n < 0 then invalid_arg "Var.Ctx.alloc_vec: negative length";
+    let base = ctx.next in
+    reserve ctx n;
+    ctx.next <- base + n;
+    for i = 0 to n - 1 do
+      ctx.homes.(base + i) <- home_code (home i);
+      ctx.inits.(base + i) <- encode (init i)
+    done;
+    push_seg ctx
+      { s_base = base;
+        s_len = n;
+        s_namer = (fun i -> Printf.sprintf "%s[%d]" name i) };
+    { v_base = base; v_len = n; v_name = name; v_home = home;
+      v_encode = encode; v_decode = decode }
+
+  let int_vec ctx ~name ~home n init =
+    alloc_vec ctx ~name ~home ~encode:Fun.id ~decode:Fun.id n init
+
+  let bool_vec ctx ~name ~home n init =
+    let encode b = if b then 1 else 0 in
+    let decode v = v <> 0 in
+    alloc_vec ctx ~name ~home ~encode ~decode n init
+
+  let pid_opt_vec ctx ~name ~home n init =
+    let encode = function None -> -1 | Some p -> p in
+    let decode v = if v < 0 then None else Some v in
+    alloc_vec ctx ~name ~home ~encode ~decode n init
+
+  (* The array forms materialize one handle per element; callers that scale
+     with the process count should hold the vec and mint handles on
+     demand. *)
   let int_array ctx ~name ~home n init =
-    Array.init n (fun i ->
-        int ctx ~name:(Printf.sprintf "%s[%d]" name i) ~home:(home i) (init i))
+    let v = int_vec ctx ~name ~home n init in
+    Array.init n (vec_get v)
 
   let bool_array ctx ~name ~home n init =
-    Array.init n (fun i ->
-        bool ctx ~name:(Printf.sprintf "%s[%d]" name i) ~home:(home i) (init i))
+    let v = bool_vec ctx ~name ~home n init in
+    Array.init n (vec_get v)
 
   let freeze ctx =
-    { homes = ctx.homes; inits = ctx.inits; names = ctx.names; size = ctx.next }
+    let segments = Array.make ctx.nsegs { s_base = 0; s_len = 0; s_namer = (fun _ -> "") } in
+    let rec fill i = function
+      | [] -> ()
+      | s :: rest ->
+        segments.(i) <- s;
+        fill (i - 1) rest
+    in
+    fill (ctx.nsegs - 1) ctx.segs_rev;
+    { size = ctx.next;
+      homes = Array.sub ctx.homes 0 ctx.next;
+      inits = Array.sub ctx.inits 0 ctx.next;
+      segments }
 end

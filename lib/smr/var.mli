@@ -24,12 +24,33 @@ val encode : 'a t -> 'a -> Op.value
 val decode : 'a t -> Op.value -> 'a
 (** Decode the cell representation; inverse of {!encode} on valid contents. *)
 
+type 'a vec
+(** A contiguous range of cells sharing one base name and encoding — O(1)
+    space regardless of length, unlike ['a t array] which materializes one
+    record and one name string per element.  The representation algorithms
+    with per-process state must use to instantiate at k = 10^6. *)
+
+val vec_len : 'a vec -> int
+
+val vec_addr : 'a vec -> int -> Op.addr
+(** Address of element [i]; raises [Invalid_argument] out of bounds. *)
+
+val vec_get : 'a vec -> int -> 'a t
+(** Mint the handle of element [i] on demand (allocates the handle and its
+    debug name; cheap, but hot loops should hoist it when possible). *)
+
 type layout
-(** Frozen allocation: addresses with homes, initial values and debug names. *)
+(** Frozen allocation: addresses with homes, initial values and debug names.
+    Dense: addresses run [0, size); homes and inits are flat array reads. *)
 
 val layout_home : layout -> Op.addr -> home
 val layout_init : layout -> Op.addr -> Op.value
 val layout_name : layout -> Op.addr -> string
+
+val layout_home_code : layout -> Op.addr -> int
+(** [layout_home_code l a] is the home of [a] packed into an int: -1 for
+    [Shared], the owning pid for [Module _].  The allocation-free accessor
+    the flat engine's DSM billing uses. *)
 
 val layout_size : layout -> int
 (** Number of allocated cells. *)
@@ -42,6 +63,8 @@ module Ctx : sig
   type ctx
 
   type nonrec 'a t = 'a t
+
+  type nonrec 'a vec = 'a vec
 
   val create : unit -> ctx
 
@@ -71,6 +94,33 @@ module Ctx : sig
 
   val bool_array :
     ctx -> name:string -> home:(int -> home) -> int -> (int -> bool) -> bool t array
+
+  val alloc_vec :
+    ctx ->
+    name:string ->
+    home:(int -> home) ->
+    encode:('a -> Op.value) ->
+    decode:(Op.value -> 'a) ->
+    int ->
+    (int -> 'a) ->
+    'a vec
+  (** [alloc_vec ctx ~name ~home ~encode ~decode n init] allocates [n]
+      contiguous cells as one O(1)-space vector; cell [i] is homed at
+      [home i], starts at [init i], and is named ["name[i]"] on demand. *)
+
+  val int_vec :
+    ctx -> name:string -> home:(int -> home) -> int -> (int -> int) -> int vec
+
+  val bool_vec :
+    ctx -> name:string -> home:(int -> home) -> int -> (int -> bool) -> bool vec
+
+  val pid_opt_vec :
+    ctx ->
+    name:string ->
+    home:(int -> home) ->
+    int ->
+    (int -> Op.pid option) ->
+    Op.pid option vec
 
   val freeze : ctx -> layout
   (** Freeze the context into the immutable layout used by the simulator.

@@ -15,23 +15,25 @@ open Program.Syntax
 type t = {
   capacity : int;
   tail : int Var.t;
-  slots : Op.pid option Var.t array;
+  slots : Op.pid option Var.vec;
+      (* a vec, not a handle array: O(1) space so the queue instantiates at
+         capacity 10^6 without a million slot records *)
 }
 
 let create ctx ~capacity =
   { capacity;
     tail = Var.Ctx.int ctx ~name:"queue.tail" ~home:Var.Shared 0;
     slots =
-      Array.init capacity (fun i ->
-          Var.Ctx.pid_opt ctx
-            ~name:(Printf.sprintf "queue.slot[%d]" i)
-            ~home:Var.Shared None) }
+      Var.Ctx.pid_opt_vec ctx ~name:"queue.slot"
+        ~home:(fun _ -> Var.Shared)
+        capacity
+        (fun _ -> None) }
 
 let enqueue t p =
   let* slot = Program.fetch_and_increment t.tail in
   if slot >= t.capacity then
     invalid_arg "Fai_queue.enqueue: capacity exceeded"
-  else Program.write t.slots.(slot) (Some p)
+  else Program.write (Var.vec_get t.slots slot) (Some p)
 
 (* Visit every element in slots [from, tail), in order, and return the new
    cursor (the tail observed at the start).  A slot that has been claimed
@@ -42,8 +44,9 @@ let drain t ~from visit =
   let rec go i =
     if i >= upto then Program.return upto
     else
-      let* () = Program.await t.slots.(i) Option.is_some in
-      let* elem = Program.read t.slots.(i) in
+      let slot = Var.vec_get t.slots i in
+      let* () = Program.await slot Option.is_some in
+      let* elem = Program.read slot in
       match elem with
       | Some q ->
         let* () = visit q in

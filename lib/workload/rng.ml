@@ -1,0 +1,42 @@
+(* Seeded deterministic RNG: splitmix64.
+
+   The workload driver's whole output must be a function of the seed — the
+   CI diffs `separation load` byte-for-byte across runs and across [--jobs]
+   values — so no [Random], no state hidden in a global, and no dependence
+   on wall time anywhere.  Splitmix64 is the standard tiny generator for
+   this: one 64-bit add per draw, full period, and good enough mixing for
+   workload shaping (we are sampling arrival gaps, not doing cryptography). *)
+
+type t = { mutable s : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  (* Pre-mix the (small) user seed so nearby seeds yield unrelated
+     streams. *)
+  { s = mix64 (Int64.of_int seed) }
+
+let next t =
+  t.s <- Int64.add t.s golden;
+  mix64 t.s
+
+(* Uniform in [0, bound); bound must be positive.  Modulo bias is
+   irrelevant at workload bounds (<< 2^63). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive"
+  else Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+
+(* Uniform in [0, 1), 53 bits of precision. *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
+
+let bool t p = float t < p
+
+(* Exponential with the given mean: inter-arrival gaps of a Poisson
+   process. *)
+let exponential t ~mean = -.mean *. log (1.0 -. float t)

@@ -114,7 +114,7 @@ let read_file path =
 
 let test_registry () =
   let ids = Experiment_registry.ids () in
-  check_int "13 experiments registered" 13 (List.length ids);
+  check_int "15 experiments registered" 15 (List.length ids);
   check_true "ids unique" (List.sort_uniq compare ids = List.sort compare ids);
   check_true "find by id"
     (match Experiment_registry.find "e5" with

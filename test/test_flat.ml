@@ -1,0 +1,300 @@
+(* Differential suite: the flat struct-of-arrays engine against the
+   persistent oracle.
+
+   One shared randomized schedule (begins, advances, crashes, terminations)
+   drives a [Sim] machine and a [Flat_sim] machine built over the same
+   layout, algorithm instance and cost model; at the end the two must agree
+   on everything observable — the full call records (pids, labels, ordinals,
+   timestamps, results, per-call RMR and step tallies, in completion
+   order), the per-process and total RMR/message counters, the clock, the
+   memory contents, the load-link sets, and the Specification 4.1 verdict.
+   Every catalog algorithm is exercised under DSM and under all three CC
+   protocols (plus directory interconnects and a capacity-bounded cache),
+   with crashes enabled. *)
+
+open Smr
+open Core
+
+(* splitmix64, the same generator the workload library uses; local copy so
+   this suite has no dependency on it. *)
+let rng_next st =
+  st := Int64.add !st 0x9E3779B97F4A7C15L;
+  let z = !st in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rng_int st bound =
+  Int64.to_int (Int64.rem (Int64.logand (rng_next st) Int64.max_int) (Int64.of_int bound))
+
+type engines = {
+  mutable sim : Sim.t;
+  flat : Flat_sim.t;
+  flat_calls : History.call list ref; (* reverse completion order *)
+}
+
+let collect calls ~pid ~label ~seq ~started ~finished ~crashed ~result ~rmrs
+    ~steps =
+  calls :=
+    { History.c_pid = pid;
+      c_label = label;
+      c_seq = seq;
+      c_started = started;
+      c_finished = (if crashed then None else Some finished);
+      c_result = (if crashed then None else Some result);
+      c_rmrs = rmrs;
+      c_steps = steps }
+    :: !calls
+
+type model_pair = {
+  mp_name : string;
+  mp_sim : n:int -> Var.layout -> Cost_model.t;
+  mp_flat : n:int -> Var.layout -> Flat_sim.model_spec;
+}
+
+let model_pairs =
+  let cc ?capacity ~protocol ~interconnect ~ways name =
+    { mp_name = name;
+      mp_sim = (fun ~n _ -> Cc.model ~protocol ~interconnect ?capacity ~n ());
+      mp_flat =
+        (fun ~n:_ layout ->
+          Flat_sim.Cc
+            { protocol;
+              interconnect;
+              ways =
+                (match ways with
+                | Some w -> w
+                | None -> max 1 (Var.layout_size layout)) }) }
+  in
+  [ { mp_name = "dsm";
+      mp_sim = (fun ~n:_ layout -> Cost_model.dsm layout);
+      mp_flat = (fun ~n:_ _ -> Flat_sim.Dsm) };
+    cc ~protocol:Cc.Write_through ~interconnect:Cc.Bus ~ways:None "cc-wt/bus";
+    cc ~protocol:Cc.Write_back ~interconnect:Cc.Bus ~ways:None "cc-wb/bus";
+    cc ~protocol:Cc.Write_update ~interconnect:Cc.Bus ~ways:None "cc-lfcu/bus";
+    cc ~protocol:Cc.Write_through ~interconnect:Cc.Directory_precise ~ways:None
+      "cc-wt/dir";
+    cc ~protocol:Cc.Write_back ~interconnect:(Cc.Directory_limited 1) ~ways:None
+      "cc-wb/dir1";
+    cc ~protocol:Cc.Write_through ~interconnect:Cc.Bus ~capacity:2
+      ~ways:(Some 2) "cc-wt/cap2" ]
+
+(* Drive both machines through one random schedule.  The two stay in
+   lock-step by construction, so decisions can be made from the flat
+   machine's state. *)
+let run_schedule ~steps ~crashes st eng (inst : Signaling.instance)
+    (cfg : Signaling.config) =
+  let n = cfg.Signaling.n in
+  let is_waiter = Array.make n false in
+  List.iter (fun p -> is_waiter.(p) <- true) cfg.Signaling.waiters;
+  let is_signaler = Array.make n false in
+  List.iter (fun p -> is_signaler.(p) <- true) cfg.Signaling.signalers;
+  for _ = 1 to steps do
+    let p = rng_int st n in
+    if Flat_sim.is_running eng.flat p then
+      if crashes && rng_int st 100 < 4 then begin
+        eng.sim <- Sim.crash eng.sim p;
+        Flat_sim.crash eng.flat p
+      end
+      else begin
+        eng.sim <- Sim.advance eng.sim p;
+        Flat_sim.advance eng.flat p
+      end
+    else if Flat_sim.is_idle eng.flat p then
+      if crashes && rng_int st 100 < 2 then begin
+        eng.sim <- Sim.terminate eng.sim p;
+        Flat_sim.terminate eng.flat p
+      end
+      else begin
+        let can_signal = is_signaler.(p) in
+        let can_poll = is_waiter.(p) in
+        let do_signal =
+          can_signal && ((not can_poll) || rng_int st 4 = 0)
+        in
+        if do_signal then begin
+          eng.sim <-
+            Sim.begin_call eng.sim p ~label:Signaling.signal_label
+              (inst.Signaling.i_signal p);
+          Flat_sim.begin_call eng.flat p ~label:Signaling.signal_label
+            (inst.Signaling.i_signal p)
+        end
+        else if can_poll then begin
+          eng.sim <-
+            Sim.begin_call eng.sim p ~label:Signaling.poll_label
+              (inst.Signaling.i_poll p);
+          Flat_sim.begin_call eng.flat p ~label:Signaling.poll_label
+            (inst.Signaling.i_poll p)
+        end
+      end
+  done;
+  (* Crash every in-flight call so both sides expose the same finished call
+     set (Sim additionally lists pending calls; Flat_sim reports calls only
+     at their end). *)
+  for p = 0 to n - 1 do
+    if Flat_sim.is_running eng.flat p then begin
+      eng.sim <- Sim.crash eng.sim p;
+      Flat_sim.crash eng.flat p
+    end
+  done
+
+let check_agreement ~ctx_name eng =
+  let sim = eng.sim and flat = eng.flat in
+  let layout = Sim.layout sim in
+  let n = Sim.n sim in
+  Alcotest.(check int)
+    (ctx_name ^ ": clock") (Sim.clock sim) (Flat_sim.clock flat);
+  Alcotest.(check int)
+    (ctx_name ^ ": total rmrs") (Sim.total_rmrs sim) (Flat_sim.total_rmrs flat);
+  Alcotest.(check int)
+    (ctx_name ^ ": total messages") (Sim.total_messages sim)
+    (Flat_sim.total_messages flat);
+  for p = 0 to n - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "%s: rmrs p%d" ctx_name p)
+      (Sim.rmrs sim p) (Flat_sim.rmrs flat p);
+    Alcotest.(check int)
+      (Printf.sprintf "%s: steps p%d" ctx_name p)
+      (Sim.step_count sim p)
+      (Flat_sim.step_count flat p);
+    Alcotest.(check int)
+      (Printf.sprintf "%s: calls p%d" ctx_name p)
+      (Sim.call_count sim p)
+      (Flat_sim.call_count flat p);
+    Alcotest.(check int)
+      (Printf.sprintf "%s: completed p%d" ctx_name p)
+      (Sim.completed_count sim p)
+      (Flat_sim.completed_count flat p);
+    Alcotest.(check (option int))
+      (Printf.sprintf "%s: last result p%d" ctx_name p)
+      (Sim.last_result sim p)
+      (Flat_sim.last_result flat p)
+  done;
+  let mem = Sim.memory sim in
+  List.iter
+    (fun a ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: memory %s" ctx_name (Var.layout_name layout a))
+        (Memory.get mem a) (Flat_sim.value flat a);
+      for p = 0 to n - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: ll p%d %s" ctx_name p (Var.layout_name layout a))
+          (Memory.ll_valid mem ~pid:p a)
+          (Flat_sim.ll_valid flat p a)
+      done)
+    (Var.layout_addrs layout);
+  (* Full call records, in completion order.  Sim.calls lists completed and
+     crashed calls first (the schedule left nothing in flight). *)
+  let sim_calls = Sim.calls sim in
+  let flat_calls = List.rev !(eng.flat_calls) in
+  Alcotest.(check int)
+    (ctx_name ^ ": call record count")
+    (List.length sim_calls) (List.length flat_calls);
+  List.iter2
+    (fun (c1 : History.call) (c2 : History.call) ->
+      let open History in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: call record %s#%d of p%d" ctx_name c1.c_label
+           c1.c_seq c1.c_pid)
+        true
+        (c1.c_pid = c2.c_pid && c1.c_label = c2.c_label && c1.c_seq = c2.c_seq
+        && c1.c_started = c2.c_started
+        && c1.c_finished = c2.c_finished
+        && c1.c_result = c2.c_result && c1.c_rmrs = c2.c_rmrs
+        && c1.c_steps = c2.c_steps))
+    sim_calls flat_calls;
+  (* Same records, so necessarily the same verdict — check it anyway, as the
+     property downstream consumers actually read. *)
+  Alcotest.(check bool)
+    (ctx_name ^ ": spec 4.1 verdict")
+    (Signaling.polling_ok sim)
+    (Signaling.check_polling flat_calls = [])
+
+let run_one (module A : Signaling.POLLING) mp ~n ~seed ~crashes =
+  let cfg = Algorithms.config_for (module A) ~n in
+  let ctx = Var.Ctx.create () in
+  let inst = Signaling.instantiate (module A) ctx cfg in
+  let layout = Var.Ctx.freeze ctx in
+  let sim = Sim.create ~model:(mp.mp_sim ~n layout) ~layout ~n in
+  let flat_calls = ref [] in
+  let flat =
+    Flat_sim.create
+      ~on_complete:(collect flat_calls)
+      ~model:(mp.mp_flat ~n layout) ~layout ~n ()
+  in
+  let eng = { sim; flat; flat_calls } in
+  let st = ref (Int64.of_int (0x5EED + (seed * 7919))) in
+  run_schedule ~steps:300 ~crashes st eng inst cfg;
+  check_agreement
+    ~ctx_name:(Printf.sprintf "%s/%s/seed%d" A.name mp.mp_name seed)
+    eng
+
+let test_all_algorithms_all_models () =
+  List.iter
+    (fun (module A : Signaling.POLLING) ->
+      List.iter
+        (fun mp ->
+          List.iter
+            (fun seed -> run_one (module A) mp ~n:4 ~seed ~crashes:true)
+            [ 0; 1; 2 ])
+        model_pairs)
+    Algorithms.polling_algorithms
+
+let test_no_crash_runs () =
+  (* Crash-free schedules finish calls normally, exercising the
+     completion-path timestamps rather than the crash path. *)
+  List.iter
+    (fun (module A : Signaling.POLLING) ->
+      List.iter
+        (fun mp -> run_one (module A) mp ~n:5 ~seed:7 ~crashes:false)
+        model_pairs)
+    Algorithms.polling_algorithms
+
+let test_run_call_matches () =
+  (* The sequential helper: a solo signal-then-poll conversation gives the
+     same results and tallies under both engines, for every model. *)
+  List.iter
+    (fun mp ->
+      let n = 3 in
+      let cfg = Algorithms.config_for (module Cc_flag) ~n in
+      let ctx = Var.Ctx.create () in
+      let inst = Signaling.instantiate (module Cc_flag) ctx cfg in
+      let layout = Var.Ctx.freeze ctx in
+      let sim = Sim.create ~model:(mp.mp_sim ~n layout) ~layout ~n in
+      let flat =
+        Flat_sim.create ~model:(mp.mp_flat ~n layout) ~layout ~n ()
+      in
+      let sim, r0 =
+        Sim.run_call sim 1 ~label:Signaling.poll_label (inst.Signaling.i_poll 1)
+      in
+      let f0 =
+        Flat_sim.run_call flat 1 ~label:Signaling.poll_label
+          (inst.Signaling.i_poll 1)
+      in
+      let sim, _ =
+        Sim.run_call sim 0 ~label:Signaling.signal_label
+          (inst.Signaling.i_signal 0)
+      in
+      let (_ : Op.value) =
+        Flat_sim.run_call flat 0 ~label:Signaling.signal_label
+          (inst.Signaling.i_signal 0)
+      in
+      let sim, r1 =
+        Sim.run_call sim 1 ~label:Signaling.poll_label (inst.Signaling.i_poll 1)
+      in
+      let f1 =
+        Flat_sim.run_call flat 1 ~label:Signaling.poll_label
+          (inst.Signaling.i_poll 1)
+      in
+      Alcotest.(check (pair int int))
+        (mp.mp_name ^ ": poll results")
+        (r0, r1) (f0, f1);
+      Alcotest.(check int)
+        (mp.mp_name ^ ": total rmrs")
+        (Sim.total_rmrs sim) (Flat_sim.total_rmrs flat))
+    model_pairs
+
+let suite =
+  [ Alcotest.test_case "all algorithms x models x seeds, with crashes" `Quick
+      test_all_algorithms_all_models;
+    Alcotest.test_case "crash-free schedules" `Quick test_no_crash_runs;
+    Alcotest.test_case "run_call parity" `Quick test_run_call_matches ]

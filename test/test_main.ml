@@ -24,5 +24,7 @@ let () =
       ("report", Test_report.suite);
       ("lint", Test_lint.suite);
       ("experiments", Test_experiments.suite);
+      ("flat", Test_flat.suite);
+      ("workload", Test_workload.suite);
       ("timeline", Test_timeline.suite);
       ("trace", Test_trace.suite) ]
