@@ -264,22 +264,70 @@ let adversary_cmd =
       & info [ "trace" ]
           ~doc:"Print the surviving history as an ASCII timeline (small N).")
   in
-  let run (module A : Core.Signaling.POLLING) n rounds polls trace =
-    let r =
-      Core.Adversary.run (module A) ~n ~max_rounds:rounds ~stability_polls:polls ()
-    in
-    Fmt.pr "%a" Core.Adversary.pp_result r;
-    if trace then begin
-      Fmt.pr "@.Surviving history:@.";
-      Smr.Timeline.print r.Core.Adversary.final_sim
-    end
+  let strategy =
+    Arg.(
+      value
+      & opt (enum [ ("section6", `Section6); ("pct", `Pct); ("walk", `Walk) ])
+          `Section6
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Adversary strategy: the deterministic $(b,section6) \
+             construction, a $(b,pct) randomized-priority schedule, or a \
+             uniform random $(b,walk).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Seed for the randomized strategies (reproducible per seed).")
+  in
+  let depth =
+    Arg.(
+      value & opt (some int) None
+      & info [ "depth" ] ~docv:"D"
+          ~doc:"PCT bug depth: number of ordering constraints targeted \
+                (default 3).")
+  in
+  let run (module A : Core.Signaling.POLLING) n rounds polls trace strategy
+      seed depth model =
+    match strategy with
+    | `Section6 ->
+      let r =
+        Core.Adversary.run (module A) ~n ~max_rounds:rounds
+          ~stability_polls:polls ()
+      in
+      Fmt.pr "%a" Core.Adversary.pp_result r;
+      if trace then begin
+        Fmt.pr "@.Surviving history:@.";
+        Smr.Timeline.print r.Core.Adversary.final_sim
+      end
+    | `Pct ->
+      let r = Core.Adversary.run_pct (module A) ~n ~seed ?depth ~model () in
+      Fmt.pr "%a" Core.Adversary.pp_random_outcome r;
+      if trace then begin
+        Fmt.pr "@.History:@.";
+        Smr.Timeline.print r.Core.Adversary.ro_outcome.Core.Scenario.sim
+      end;
+      if r.Core.Adversary.ro_outcome.Core.Scenario.violations <> [] then exit 1
+    | `Walk ->
+      let r = Core.Adversary.run_walk (module A) ~n ~seed ~model () in
+      Fmt.pr "%a" Core.Adversary.pp_random_outcome r;
+      if trace then begin
+        Fmt.pr "@.History:@.";
+        Smr.Timeline.print r.Core.Adversary.ro_outcome.Core.Scenario.sim
+      end;
+      if r.Core.Adversary.ro_outcome.Core.Scenario.violations <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "adversary"
        ~doc:
-         "Play the Section 6 lower-bound construction against an algorithm \
-          in the DSM model.")
-    Term.(const run $ algo $ n_arg $ rounds $ polls $ trace)
+         "Play an adversary against an algorithm: the Section 6 lower-bound \
+          construction (DSM model), or a seed-reproducible randomized \
+          schedule (PCT priorities or a uniform walk) checked against \
+          Specification 4.1.")
+    Term.(
+      const run $ algo $ n_arg $ rounds $ polls $ trace $ strategy $ seed
+      $ depth $ model)
 
 (* `trace` replays a scenario (or the adversary construction) with the
    observability layer attached and dumps the event stream.  Everything on
@@ -761,6 +809,98 @@ let load_cmd =
       const run $ algos $ model $ ks $ seed $ polls $ signals $ signal_every
       $ arrivals $ crash_prob $ leave_prob $ ways $ jobs $ json $ perf_out)
 
+(* `fuzz` streams seeded random cases through the differential oracle
+   lattice.  Everything on stdout is a function of the flags alone — the
+   CI diffs two runs byte-for-byte — and any disagreement is shrunk to a
+   minimal case whose replay line is printed on stderr. *)
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Base seed.  Case $(i,i) is a function of (seed, $(i,i)) alone, \
+             so any case replays in isolation via --only.")
+  in
+  let cases =
+    Arg.(
+      value & opt int 200
+      & info [ "cases" ] ~docv:"N" ~doc:"Number of case indices to stream.")
+  in
+  let budget =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget" ] ~docv:"UNITS"
+          ~doc:
+            "Deterministic work-unit cap (schedule decisions times oracle \
+             weight); the run stops once spent, independent of wall time.")
+  in
+  let oracle =
+    Arg.(
+      value & opt_all string []
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:
+            "Restrict to the named oracle (repeatable): lean-vs-full, \
+             sim-vs-flat, por-vs-nopor, claims-vs-measured, cc-invariants.  \
+             All five when omitted.")
+  in
+  let mutants =
+    Arg.(
+      value & flag
+      & info [ "mutants" ]
+          ~doc:
+            "Draw lint-entry cases from the seeded mutant fixtures instead \
+             of the honest catalog; every mutant reached must surface as a \
+             finding (CI's expected-failure leg).")
+  in
+  let only =
+    Arg.(
+      value & opt (some int) None
+      & info [ "only" ] ~docv:"IDX"
+          ~doc:"Replay exactly one case index from this seed.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the stable JSON table on stdout.")
+  in
+  let run seed cases budget oracle_names mutants only json =
+    let oracles =
+      match oracle_names with
+      | [] -> Fuzz.Oracles.all
+      | names ->
+        List.map
+          (fun s ->
+            match Fuzz.Oracles.of_name s with
+            | Some o -> o
+            | None ->
+              Fmt.epr "separation: unknown oracle %S@." s;
+              exit 2)
+          names
+    in
+    let report =
+      Fuzz.Harness.run
+        { Fuzz.Harness.seed; cases; budget; oracles; mutants; only }
+    in
+    if json then print_string (Core.Results.to_json report.Fuzz.Harness.table)
+    else Core.Report.print (Core.Results.to_report report.Fuzz.Harness.table);
+    (* Findings go to stderr so --json stdout stays a pure document. *)
+    List.iter
+      (fun f -> Fmt.epr "%a@." Fuzz.Harness.pp_finding f)
+      report.Fuzz.Harness.findings;
+    if report.Fuzz.Harness.findings <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Stream seeded random cases (programs, catalog scripts, lint \
+          entries) through the differential oracle lattice: lean vs full \
+          machine, persistent vs flat engine, POR vs literal exploration, \
+          static claims vs measured RMRs, and the CC cost-model invariants.  \
+          Shrinks any disagreement to a minimal replayable case and exits \
+          nonzero.")
+    Term.(const run $ seed $ cases $ budget $ oracle $ mutants $ only $ json)
+
 let list_cmd =
   let run () =
     Fmt.pr "Experiments:@.";
@@ -798,4 +938,4 @@ let () =
        (Cmd.group
           (Cmd.info "separation" ~version:"1.0.0" ~doc)
           [ run_cmd; adversary_cmd; explore_cmd; trace_cmd; tables_cmd;
-            experiments_cmd; lint_cmd; load_cmd; list_cmd ]))
+            experiments_cmd; lint_cmd; load_cmd; fuzz_cmd; list_cmd ]))

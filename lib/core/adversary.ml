@@ -360,7 +360,10 @@ let one_round ?resolution ~round ~stability_polls ~fuel st =
           (* Roll-forward case: keep the big same-variable group, erase the
              other writers, apply the group's writes, roll the last writer
              forward. *)
-          let victims = List.filter (fun p -> not (List.mem p group)) writers in
+          let in_group = Pid_set.of_list group in
+          let victims =
+            List.filter (fun p -> not (Pid_set.mem p in_group)) writers
+          in
           let st, f1 = erase_best_effort st victims in
           let group = List.filter (fun p -> Pid_set.mem p st.active) group in
           let st = List.fold_left advance_pid st group in
@@ -373,7 +376,10 @@ let one_round ?resolution ~round ~stability_polls ~fuel st =
           (* Erasing case: one writer per variable, then resolve
              previously-written-variable conflicts, then apply. *)
           let reps = List.filter_map (fun (_, ps) -> List.nth_opt ps 0) groups in
-          let victims = List.filter (fun p -> not (List.mem p reps)) writers in
+          let is_rep = Pid_set.of_list reps in
+          let victims =
+            List.filter (fun p -> not (Pid_set.mem p is_rep)) writers
+          in
           let st, f1 = erase_best_effort st victims in
           let st, reps, erased2, f2 = resolve_write_conflicts ?resolution st reps in
           let st = List.fold_left advance_pid st reps in
@@ -636,3 +642,70 @@ let pp_result ppf r =
     r.participants r.total_rmrs r.amortized
     (if r.spec_violated then " [SPEC VIOLATED]" else "")
     (if r.spurious_true then " [SPURIOUS TRUE]" else "")
+
+(* --- Randomized adversary strategies ---
+
+   The Section 6 construction above plays one hand-built strategy
+   (erasing/rolling-forward).  These two play probability instead: a
+   PCT-style priority schedule (random distinct priorities, d-1 random
+   demotion points — detection probability >= 1/(n * horizon^(d-1)) per
+   seed for a depth-d bug) and a plain seed-reproducible uniform random
+   walk.  Both drive the standard open workload (waiters poll until they
+   learn, the signaler fires once the clock passes [signal_after]) and
+   report the Spec 4.1 verdict alongside the RMR accounting, so the fuzz
+   harness and the CLI can sweep seeds. *)
+
+type random_outcome = {
+  ro_policy : string;
+  ro_seed : int;
+  ro_outcome : Scenario.outcome;
+}
+
+let run_randomized policy (module A : Signaling.POLLING) ~n ~seed ?cfg ?model
+    ?tracer ?signal_after ?max_events () =
+  let cfg =
+    match cfg with Some c -> c | None -> Algorithms.config_for (module A) ~n
+  in
+  let model = match model with Some m -> m | None -> `Dsm in
+  let outcome =
+    Scenario.run_random
+      (module A)
+      ~model ~cfg ~seed ?tracer ~policy ?signal_after ?max_events ()
+  in
+  { ro_policy = Schedule.policy_name policy; ro_seed = seed; ro_outcome = outcome }
+
+let run_pct (module A : Signaling.POLLING) ~n ~seed ?(depth = 3) ?horizon ?cfg
+    ?model ?tracer ?signal_after ?max_events () =
+  let horizon =
+    match horizon with
+    | Some h -> h
+    | None -> 40 * n (* roughly the step count of an n-process run *)
+  in
+  (* Past the last demotion point the priority order is frozen, so events
+     beyond a small multiple of the horizon cannot change the verdict —
+     they only let a fixed top-priority waiter spin to the generic event
+     cap.  PCT's detection guarantee is stated over the horizon anyway. *)
+  let max_events =
+    match max_events with Some m -> m | None -> max (8 * horizon) 2_000
+  in
+  run_randomized
+    (Schedule.Pct { seed; depth; horizon })
+    (module A)
+    ~n ~seed ?cfg ?model ?tracer ?signal_after ~max_events ()
+
+let run_walk (module A : Signaling.POLLING) ~n ~seed ?cfg ?model ?tracer
+    ?signal_after ?max_events () =
+  run_randomized
+    (Schedule.Random_seed seed)
+    (module A)
+    ~n ~seed ?cfg ?model ?tracer ?signal_after ?max_events ()
+
+let pp_random_outcome ppf r =
+  let o = r.ro_outcome in
+  Fmt.pf ppf
+    "%s: %d RMRs total (signaler %d, max waiter %d), %d participants, %d \
+     unfinished, %d violation(s)"
+    r.ro_policy o.Scenario.total_rmrs o.Scenario.signaler_rmrs
+    o.Scenario.max_waiter_rmrs o.Scenario.participants
+    o.Scenario.unfinished_waiters
+    (List.length o.Scenario.violations)

@@ -91,3 +91,51 @@ val run :
 
 val pp_round : round_stat Fmt.t
 val pp_result : result Fmt.t
+
+(** {1 Randomized strategies}
+
+    Alternatives to the Section 6 erasing/rolling-forward construction:
+    seed-reproducible probabilistic schedules over the standard open
+    workload (waiters poll until they learn; the signaler fires once the
+    clock passes [signal_after]).  Both check Specification 4.1 over the
+    resulting history — [ro_outcome.violations] is the verdict. *)
+
+type random_outcome = {
+  ro_policy : string;  (** [Schedule.policy_name] of the schedule played *)
+  ro_seed : int;
+  ro_outcome : Scenario.outcome;
+}
+
+val run_pct :
+  (module Signaling.POLLING) ->
+  n:int ->
+  seed:int ->
+  ?depth:int ->
+  ?horizon:int ->
+  ?cfg:Signaling.config ->
+  ?model:Scenario.model_tag ->
+  ?tracer:Obs.Trace.t ->
+  ?signal_after:int ->
+  ?max_events:int ->
+  unit ->
+  random_outcome
+(** PCT-style randomized priority schedule ({!Smr.Schedule.Pct}): distinct
+    random priorities, [depth - 1] demotion points drawn from
+    [\[1, horizon\]] (default [horizon = 40 * n]).  A depth-[d] ordering
+    bug is hit with probability at least [1 / (n * horizon^(d-1))] per
+    seed, so sweeping seeds buys a guaranteed detection rate. *)
+
+val run_walk :
+  (module Signaling.POLLING) ->
+  n:int ->
+  seed:int ->
+  ?cfg:Signaling.config ->
+  ?model:Scenario.model_tag ->
+  ?tracer:Obs.Trace.t ->
+  ?signal_after:int ->
+  ?max_events:int ->
+  unit ->
+  random_outcome
+(** Seed-reproducible uniform random walk ({!Smr.Schedule.Random_seed}). *)
+
+val pp_random_outcome : random_outcome Fmt.t

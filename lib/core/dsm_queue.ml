@@ -74,10 +74,19 @@ let poll t p =
       let* () = Program.write (Var.vec_get t.observed p) true in
       Program.return true
 
+(* The drain skips a claimed-but-unpublished slot after one re-read
+   instead of awaiting it: a waiter crashing between its F&I and its slot
+   publish would otherwise wedge the drain forever (the livelock E15 first
+   exposed).  Skipping is safe under ANY schedule, not just crashy ones,
+   because G is set before the drain starts and is never unset: a Poll()
+   writes [registered], enqueues (F&I then publish), and only then reads
+   G — so a claimant whose slot is still empty when the drain passes has
+   not yet read G, will observe G = true when it does, and returns true
+   without ever needing its V flag. *)
 let signal t _p =
   let* () = Program.write t.g true in
   let* _cursor =
-    Sync.Fai_queue.drain t.queue ~from:0 (fun q ->
+    Sync.Fai_queue.drain ~skip_unpublished:1 t.queue ~from:0 (fun q ->
         Program.write (Var.vec_get t.v q) true)
   in
   Program.return ()

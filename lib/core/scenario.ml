@@ -139,8 +139,9 @@ let run_phased (module A : Signaling.POLLING) ~model ~cfg ?tracer
 
 (* Randomized: all processes interleave at step granularity; the signaler
    fires once the event clock passes [signal_after].  Waiters poll until
-   they see true, then stop. *)
-let run_random (module A : Signaling.POLLING) ~model ~cfg ~seed ?tracer
+   they see true, then stop.  [policy] overrides the uniform random walk —
+   the PCT adversary passes [Schedule.Pct] here. *)
+let run_random (module A : Signaling.POLLING) ~model ~cfg ~seed ?tracer ?policy
     ?(signal_after = 50) ?(max_events = 200_000) () =
   let inst, layout = build (module A) cfg in
   let model = make_model ?tracer ~n:cfg.Signaling.n layout model in
@@ -166,10 +167,10 @@ let run_random (module A : Signaling.POLLING) ~model ~cfg ~seed ?tracer
   let pids =
     List.sort_uniq compare (cfg.Signaling.waiters @ cfg.Signaling.signalers)
   in
-  let sim =
-    Schedule.run ~max_events ~policy:(Schedule.Random_seed seed) ~behavior ~pids
-      sim
+  let policy =
+    match policy with Some p -> p | None -> Schedule.Random_seed seed
   in
+  let sim = Schedule.run ~max_events ~policy ~behavior ~pids sim in
   let unfinished =
     List.length
       (List.filter (fun w -> Sim.last_result sim w <> Some 1) cfg.Signaling.waiters)

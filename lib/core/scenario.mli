@@ -59,12 +59,16 @@ val run_random :
   cfg:Signaling.config ->
   seed:int ->
   ?tracer:Obs.Trace.t ->
+  ?policy:Smr.Schedule.policy ->
   ?signal_after:int ->
   ?max_events:int ->
   unit ->
   outcome
 (** Randomized step-level interleaving; the signaler fires once the logical
-    clock passes [signal_after]; waiters poll until they see true. *)
+    clock passes [signal_after]; waiters poll until they see true.
+    [policy] overrides the default uniform random walk
+    ([Schedule.Random_seed seed]) — {!Adversary.run_pct} passes
+    [Schedule.Pct] here. *)
 
 val run_blocking :
   (module Signaling.BLOCKING) ->

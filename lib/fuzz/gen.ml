@@ -1,0 +1,128 @@
+(* Seeded case generation.
+
+   Case [i] of seed [S] is a function of (S, i) alone — each case owns a
+   private splitmix64 stream keyed by the pair — so any case from any run
+   can be regenerated in isolation ([separation fuzz --seed S --only i])
+   without replaying the cases before it.
+
+   The program generator is biased toward what actually finds
+   disagreements: a tiny heap (1-3 cells) so processes race on the same
+   addresses, paired LL/SC with an optional intervening access (the
+   pattern cache models and link-invalidation bookkeeping get wrong
+   first), comparison primitives with near-colliding operand values, and
+   schedules that mix bursts of one process with uniform interleaving
+   plus occasional mid-call crashes. *)
+
+open Workload
+
+type profile = {
+  p_families : [ `Programs | `Script | `Entry ] list;
+  p_algorithms : string list; (* pool for the Script family *)
+  p_entries : string list; (* pool for the Entry family *)
+}
+
+let case_rng ~seed ~index = Rng.create (seed + (0x9E3779B9 * (index + 1)))
+
+let pick rng = function
+  | [] -> invalid_arg "Fuzz.Gen.pick: empty pool"
+  | l -> List.nth l (Rng.int rng (List.length l))
+
+let gen_ops rng ~ncells ~len =
+  let buf = ref [] in
+  let emit op = buf := op :: !buf in
+  let v () = Rng.int rng 3 in
+  let addr () = Rng.int rng ncells in
+  for _ = 1 to len do
+    let a = addr () in
+    let roll = Rng.int rng 100 in
+    if roll < 30 then emit (Smr.Op.Read a)
+    else if roll < 52 then emit (Smr.Op.Write (a, v ()))
+    else if roll < 64 then emit (Smr.Op.Cas (a, v (), v ()))
+    else if roll < 78 then begin
+      (* paired LL/SC, optionally with an access in between — the shape
+         adversarial schedules break first *)
+      emit (Smr.Op.Ll a);
+      if Rng.bool rng 0.3 then emit (Smr.Op.Read (addr ()));
+      emit (Smr.Op.Sc (a, v ()))
+    end
+    else if roll < 86 then emit (Smr.Op.Faa (a, 1 + Rng.int rng 2))
+    else if roll < 93 then emit (Smr.Op.Fas (a, v ()))
+    else emit (Smr.Op.Tas a)
+  done;
+  List.rev !buf
+
+let gen_schedule rng ~n ~len ~crash_prob =
+  let buf = ref [] in
+  let last = ref 0 in
+  for _ = 1 to len do
+    let p = if Rng.bool rng 0.35 then !last else Rng.int rng (max 1 n) in
+    last := p;
+    buf :=
+      (if Rng.bool rng crash_prob then Case.Crash p else Case.Step p) :: !buf
+  done;
+  List.rev !buf
+
+let gen_programs rng ~seed ~index =
+  let n = 2 + Rng.int rng 3 in
+  let ncells = 1 + Rng.int rng 3 in
+  let cells =
+    List.init ncells (fun _ ->
+        { Case.home = (if Rng.bool rng 0.5 then -1 else Rng.int rng n);
+          init = Rng.int rng 2 })
+  in
+  let calls =
+    List.init n (fun _ ->
+        List.init
+          (1 + Rng.int rng 2)
+          (fun _ -> gen_ops rng ~ncells ~len:(1 + Rng.int rng 5)))
+  in
+  let total_ops =
+    List.fold_left
+      (fun acc per_pid ->
+        List.fold_left (fun acc ops -> acc + List.length ops) acc per_pid)
+      0 calls
+  in
+  let len = (2 * (total_ops + n)) + 8 + Rng.int rng 17 in
+  { Case.seed;
+    index;
+    n;
+    family = Case.Programs { cells; calls };
+    schedule = gen_schedule rng ~n ~len ~crash_prob:0.04 }
+
+let gen_script rng ~seed ~index ~algorithms =
+  let n = 2 + Rng.int rng 3 in
+  let algorithm = pick rng algorithms in
+  let polls = 1 + Rng.int rng 3 in
+  let len = 60 + Rng.int rng 240 in
+  { Case.seed;
+    index;
+    n;
+    family = Case.Script { algorithm; polls };
+    schedule = gen_schedule rng ~n ~len ~crash_prob:0.02 }
+
+let gen_entry rng ~seed ~index ~entries =
+  let n = 2 + Rng.int rng 3 in
+  let entry = pick rng entries in
+  let repeats = 1 + Rng.int rng 2 in
+  let len = 80 + Rng.int rng 160 in
+  { Case.seed;
+    index;
+    n;
+    family = Case.Entry { entry; repeats };
+    schedule = gen_schedule rng ~n ~len ~crash_prob:0.03 }
+
+let gen ~profile ~seed ~index =
+  let rng = case_rng ~seed ~index in
+  let families =
+    List.filter
+      (function
+        | `Script -> profile.p_algorithms <> []
+        | `Entry -> profile.p_entries <> []
+        | `Programs -> true)
+      profile.p_families
+  in
+  let families = match families with [] -> [ `Programs ] | l -> l in
+  match pick rng families with
+  | `Programs -> gen_programs rng ~seed ~index
+  | `Script -> gen_script rng ~seed ~index ~algorithms:profile.p_algorithms
+  | `Entry -> gen_entry rng ~seed ~index ~entries:profile.p_entries

@@ -1,0 +1,15 @@
+(** Seeded case generation: case [i] of seed [S] is a function of
+    [(S, i)] alone, so any case can be regenerated in isolation
+    ([separation fuzz --seed S --only i]).  Biased toward read-write
+    races on a tiny heap, paired LL/SC, and crash-bearing schedules. *)
+
+type profile = {
+  p_families : [ `Programs | `Script | `Entry ] list;
+      (** enabled families; families with an empty pool are dropped, and
+          an empty result falls back to [`Programs] *)
+  p_algorithms : string list;  (** pool for the [Script] family *)
+  p_entries : string list;  (** pool for the [Entry] family *)
+}
+
+val case_rng : seed:int -> index:int -> Workload.Rng.t
+val gen : profile:profile -> seed:int -> index:int -> Case.t

@@ -1,0 +1,43 @@
+(** The budgeted fuzzing harness behind [separation fuzz].
+
+    Deterministic end to end: the case stream is a function of the seed,
+    each oracle is a deterministic function of its case, and the budget
+    is measured in work units (schedule decisions × oracle weight), not
+    wall time — same seed, same bytes, on every machine. *)
+
+type config = {
+  seed : int;
+  cases : int;  (** case indices 0 .. cases-1 *)
+  budget : int option;  (** cap on deterministic work units *)
+  oracles : Oracles.id list;
+  mutants : bool;
+      (** draw the Entry family from the seeded lint mutants instead of
+          the honest catalog — every mutant reached must surface as a
+          finding *)
+  only : int option;  (** replay exactly one case index *)
+}
+
+val default_config : config
+(** seed 1, 200 cases, no budget cap, every oracle, honest entries. *)
+
+type finding = {
+  f_oracle : string;
+  f_index : int;
+  f_detail : string;  (** re-derived on the shrunk case when possible *)
+  f_case : Case.t;  (** as generated *)
+  f_shrunk : Case.t;  (** greedily minimized, still disagreeing *)
+}
+
+type report = {
+  table : Core.Results.table;  (** one row per selected oracle *)
+  findings : finding list;
+  cases_run : int;
+  units : int;
+}
+
+val run : config -> report
+(** Registers the lint catalog, streams cases, evaluates every selected
+    applicable oracle on each, and shrinks any disagreement. *)
+
+val pp_finding : finding Fmt.t
+(** Detail, replay command line, and the minimized case dump. *)

@@ -1,0 +1,44 @@
+(** The differential checking lattice: each oracle runs one case through
+    two (or more) independent implementations of the same semantics and
+    demands agreement.  Every oracle is deterministic — same case, same
+    verdict, bytewise. *)
+
+type verdict =
+  | Agree of int  (** number of comparisons performed *)
+  | Disagree of string  (** a finding: the first observable divergence *)
+  | Skip  (** not applicable, or a truncated exploration; not a finding *)
+
+type id =
+  | Lean_vs_full
+      (** persistent machine with vs without per-step history — every
+          counter, call record and memory cell must match *)
+  | Sim_vs_flat
+      (** persistent machine vs the struct-of-arrays engine, caches
+          sized so the flat LRU can never evict (the documented
+          exact-match regime) *)
+  | Por_vs_nopor
+      (** model checker with dedup + sleep sets vs the literal
+          enumeration: identical Spec 4.1 verdict on a 2-process scope *)
+  | Claims_vs_measured
+      (** a registry entry's static claims vs a measured execution: RMR
+          bounds, spin locality, declared primitive classes *)
+  | Cc_invariants
+      (** cost models are pure folds: responses/memory/clock are
+          model-independent; with unbounded caches LFCU never bills more
+          than write-through, and write-back never does on
+          read/write-only histories (failed comparisons acquire
+          exclusive ownership under wb, so the bound is false in
+          general); DSM bills exactly the remote-home steps *)
+
+val all : id list
+
+val name : id -> string
+val of_name : string -> id option
+
+val applies : id -> Case.t -> bool
+(** Whether the oracle consumes this case's family. *)
+
+val weight : id -> int
+(** Relative cost of one evaluation, for the deterministic budget. *)
+
+val eval : id -> Case.t -> verdict

@@ -1,0 +1,116 @@
+(* Greedy structural shrinking.
+
+   [minimize ~check case] repeatedly replaces the case with the first
+   strictly-smaller candidate on which [check] still holds ([check c] =
+   "c still reproduces the disagreement"), until no candidate does or the
+   check budget runs out.  Every candidate strictly decreases
+   {!Case.size}, so the loop terminates; elaboration is total on every
+   candidate, so [check] never has to guard against malformed cases.
+
+   Candidate order matters for output quality: schedule bisection first
+   (the big wins), then per-decision deletion, then family-level
+   simplifications (drop calls, truncate ops, drop crashes, shrink
+   parameters). *)
+
+let drop_nth l i = List.filteri (fun j _ -> j <> i) l
+
+let replace_nth l i x = List.mapi (fun j y -> if j = i then x else y) l
+
+(* Lazily-ish ordered candidate list; all are plain data so building the
+   list eagerly is cheap relative to one [check]. *)
+let candidates (c : Case.t) =
+  let with_schedule s = { c with Case.schedule = s } in
+  let len = List.length c.Case.schedule in
+  let halves =
+    if len < 2 then []
+    else
+      let k = len / 2 in
+      [ with_schedule (List.filteri (fun i _ -> i >= k) c.Case.schedule);
+        with_schedule (List.filteri (fun i _ -> i < k) c.Case.schedule) ]
+  in
+  let no_crashes =
+    if List.exists (function Case.Crash _ -> true | _ -> false) c.Case.schedule
+    then
+      [ with_schedule
+          (List.filter
+             (function Case.Crash _ -> false | _ -> true)
+             c.Case.schedule) ]
+    else []
+  in
+  let per_decision =
+    List.init len (fun i -> with_schedule (drop_nth c.Case.schedule i))
+  in
+  let family =
+    match c.Case.family with
+    | Case.Programs { cells; calls } ->
+      let with_calls calls =
+        { c with Case.family = Case.Programs { cells; calls } }
+      in
+      (* drop one whole call of one pid *)
+      List.concat
+        (List.mapi
+           (fun p per_pid ->
+             List.init (List.length per_pid) (fun j ->
+                 with_calls (replace_nth calls p (drop_nth per_pid j))))
+           calls)
+      (* truncate the last op of each call *)
+      @ List.concat
+          (List.mapi
+             (fun p per_pid ->
+               List.concat
+                 (List.mapi
+                    (fun j ops ->
+                      match ops with
+                      | [] | [ _ ] -> []
+                      | _ ->
+                        [ with_calls
+                            (replace_nth calls p
+                               (replace_nth per_pid j
+                                  (drop_nth ops (List.length ops - 1)))) ])
+                    per_pid))
+             calls)
+      (* drop the last cell *)
+      @ (if List.length cells > 1 then
+           [ { c with
+               Case.family =
+                 Case.Programs
+                   { cells = drop_nth cells (List.length cells - 1); calls } } ]
+         else [])
+      (* fewer processes *)
+      @
+      if c.Case.n > 1 then
+        [ { c with Case.n = c.Case.n - 1; family = Case.Programs { cells; calls } } ]
+      else []
+    | Case.Script { algorithm; polls } ->
+      (if polls > 1 then
+         [ { c with Case.family = Case.Script { algorithm; polls = polls - 1 } } ]
+       else [])
+      @
+      if c.Case.n > 2 then
+        [ { c with Case.n = c.Case.n - 1 } ]
+      else []
+    | Case.Entry { entry; repeats } ->
+      if repeats > 1 then
+        [ { c with Case.family = Case.Entry { entry; repeats = repeats - 1 } } ]
+      else []
+  in
+  List.filter
+    (fun cand -> Case.size cand < Case.size c)
+    (halves @ no_crashes @ per_decision @ family)
+
+let minimize ?(max_checks = 250) ~check case =
+  let budget = ref max_checks in
+  let rec go case =
+    let next =
+      List.find_opt
+        (fun cand ->
+          if !budget <= 0 then false
+          else begin
+            decr budget;
+            check cand
+          end)
+        (candidates case)
+    in
+    match next with Some c -> go c | None -> case
+  in
+  go case

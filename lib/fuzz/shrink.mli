@@ -1,0 +1,12 @@
+(** Greedy structural shrinking: replace the case with the first
+    strictly-{!Case.size}-smaller candidate still failing [check], to a
+    fixpoint or until [max_checks] candidate evaluations are spent.
+    Deterministic given a deterministic [check]. *)
+
+val candidates : Case.t -> Case.t list
+(** Strictly smaller variants, most-aggressive first (schedule halves,
+    crash removal, per-decision deletion, then family simplifications). *)
+
+val minimize : ?max_checks:int -> check:(Case.t -> bool) -> Case.t -> Case.t
+(** [check c] must return [true] iff [c] still reproduces the failure;
+    [max_checks] defaults to 250. *)

@@ -32,70 +32,123 @@ let interconnect_name = function
 
 module Addr_map = Map.Make (Int)
 module Pid_map = Map.Make (Int)
+module Pid_set = Set.Make (Int)
 
-(* Each process's cache is an MRU-ordered list of addresses, optionally
-   bounded: Section 8 notes that theoretical RMR bounds assume an "ideal"
-   cache that never drops data spuriously, an assumption that fails under
-   finite capacity — [capacity = Some k] models that with LRU eviction
-   (experiment E12 measures the effect). *)
+(* Copy membership lives in per-cell holder sets ([copies]): [has_copy] is
+   a map + set lookup and [remote_holders] walks only the cell's actual
+   holders, where the former MRU-list representation scanned a process's
+   whole cached set per access — O(cached-set) work that made CC billing
+   quadratic at [separation load] scale.
+
+   The MRU-ordered per-process lists survive only under a capacity bound:
+   Section 8 notes that theoretical RMR bounds assume an "ideal" cache that
+   never drops data spuriously, an assumption that fails under finite
+   capacity — [capacity = Some k] models that with LRU eviction (experiment
+   E12 measures the effect), and there the list is at most [k] long.  An
+   unbounded cache never evicts, so recency order is unobservable and only
+   the holder sets are kept. *)
 type state = {
-  caches : Op.addr list Pid_map.t; (* MRU first *)
+  caches : Op.addr list Pid_map.t; (* MRU first; maintained iff bounded *)
+  copies : Pid_set.t Addr_map.t; (* per-cell copy-holder sets *)
   owner : Op.pid Addr_map.t; (* write-back: exclusive (dirty) owner *)
   capacity : int option;
 }
 
-let empty capacity = { caches = Pid_map.empty; owner = Addr_map.empty; capacity }
+let empty capacity =
+  { caches = Pid_map.empty;
+    copies = Addr_map.empty;
+    owner = Addr_map.empty;
+    capacity }
 
 let cache_of st pid =
   match Pid_map.find_opt pid st.caches with Some l -> l | None -> []
 
-let has_copy st pid a = List.mem a (cache_of st pid)
+let holders st a =
+  match Addr_map.find_opt a st.copies with
+  | Some s -> s
+  | None -> Pid_set.empty
 
-(* Processes other than [pid] holding a copy of [a]. *)
+let has_copy st pid a = Pid_set.mem pid (holders st a)
+
+(* Processes other than [pid] holding a copy of [a], in descending pid
+   order (the order the former cache-map fold produced). *)
 let remote_holders st pid a =
-  Pid_map.fold
-    (fun q cache acc -> if q <> pid && List.mem a cache then q :: acc else acc)
-    st.caches []
+  Pid_set.fold
+    (fun q acc -> if q <> pid then q :: acc else acc)
+    (holders st a) []
 
 let owner_of st a = Addr_map.find_opt a st.owner
 
-(* Touch [a] in [pid]'s cache: move to MRU position, evicting the LRU line
-   if the capacity bound is hit.  An evicted dirty (owned) line loses its
-   ownership — the writeback itself is charged when the line is next
-   accessed remotely. *)
+let record_copy copies pid a =
+  let hs =
+    match Addr_map.find_opt a copies with Some s -> s | None -> Pid_set.empty
+  in
+  Addr_map.add a (Pid_set.add pid hs) copies
+
+let unrecord_copy copies pid a =
+  match Addr_map.find_opt a copies with
+  | None -> copies
+  | Some hs ->
+    let hs = Pid_set.remove pid hs in
+    if Pid_set.is_empty hs then Addr_map.remove a copies
+    else Addr_map.add a hs copies
+
+(* Touch [a] in [pid]'s cache: give it a valid copy and, under a capacity
+   bound, move the line to MRU position, evicting the LRU line if the bound
+   is hit.  An evicted dirty (owned) line loses its ownership — the
+   writeback itself is charged when the line is next accessed remotely.
+   A hit on an unbounded cache returns the state physically unchanged, so
+   spin reads allocate nothing. *)
 let add_copy st pid a =
-  let cache0 = cache_of st pid in
-  match cache0 with
-  | b :: _ when b = a -> st (* already most-recently-used: nothing moves *)
-  | _ ->
-  let cache = a :: List.filter (fun b -> b <> a) cache0 in
-  let cache, evicted =
-    match st.capacity with
-    | Some cap when List.length cache > cap ->
-      let rec split i = function
-        | [] -> ([], [])
-        | x :: rest ->
-          if i >= cap then ([], x :: rest)
-          else
-            let keep, drop = split (i + 1) rest in
-            (x :: keep, drop)
+  match st.capacity with
+  | None ->
+    if has_copy st pid a then st
+    else { st with copies = record_copy st.copies pid a }
+  | Some cap -> (
+    let cache0 = cache_of st pid in
+    match cache0 with
+    | b :: _ when b = a -> st (* already most-recently-used: nothing moves *)
+    | _ ->
+      let cache = a :: List.filter (fun b -> b <> a) cache0 in
+      let cache, evicted =
+        if List.length cache > cap then
+          let rec split i = function
+            | [] -> ([], [])
+            | x :: rest ->
+              if i >= cap then ([], x :: rest)
+              else
+                let keep, drop = split (i + 1) rest in
+                (x :: keep, drop)
+          in
+          split 0 cache
+        else (cache, [])
       in
-      split 0 cache
-    | Some _ | None -> (cache, [])
-  in
-  let owner =
-    List.fold_left
-      (fun owner b ->
-        match Addr_map.find_opt b owner with
-        | Some q when q = pid -> Addr_map.remove b owner
-        | Some _ | None -> owner)
-      st.owner evicted
-  in
-  { st with caches = Pid_map.add pid cache st.caches; owner }
+      let owner =
+        List.fold_left
+          (fun owner b ->
+            match Addr_map.find_opt b owner with
+            | Some q when q = pid -> Addr_map.remove b owner
+            | Some _ | None -> owner)
+          st.owner evicted
+      in
+      let copies =
+        List.fold_left
+          (fun copies b -> unrecord_copy copies pid b)
+          (record_copy st.copies pid a)
+          evicted
+      in
+      { st with caches = Pid_map.add pid cache st.caches; owner; copies })
 
 let drop_copy st pid a =
-  { st with
-    caches = Pid_map.add pid (List.filter (fun b -> b <> a) (cache_of st pid)) st.caches }
+  let caches =
+    match st.capacity with
+    | None -> st.caches
+    | Some _ ->
+      Pid_map.add pid
+        (List.filter (fun b -> b <> a) (cache_of st pid))
+        st.caches
+  in
+  { st with caches; copies = unrecord_copy st.copies pid a }
 
 (* Messages needed to reach the remote copy holders of [a] (invalidate or
    update them), given [m] remote copies out of [n] processors. *)

@@ -23,12 +23,18 @@ type policy =
       (* the semi-synchronous model of Sec. 3: consecutive steps of the
          same (runnable) process are at most [delta] scheduling ticks
          apart — otherwise random *)
+  | Pct of { seed : int; depth : int; horizon : int }
+      (* probabilistic concurrency testing: random distinct priorities,
+         highest-priority runnable process steps, with [depth - 1] random
+         priority-change points in [1, horizon] *)
 
 let policy_name = function
   | Round_robin -> "round-robin"
   | Random_seed s -> Printf.sprintf "random(seed=%d)" s
   | Fixed _ -> "fixed"
   | Semi_sync { delta; seed } -> Printf.sprintf "semi-sync(delta=%d,seed=%d)" delta seed
+  | Pct { seed; depth; horizon } ->
+    Printf.sprintf "pct(seed=%d,depth=%d,horizon=%d)" seed depth horizon
 
 (* Poke one process: advance it if mid-call, otherwise consult its behavior.
    Returns [None] if the process cannot make progress right now. *)
@@ -121,6 +127,69 @@ let run ?(max_events = 1_000_000) ~policy ~behavior ~pids sim =
           | None -> sim))
     in
     loop sim max_events Sim.Pid_map.empty
+  | Pct { seed; depth; horizon } ->
+    let rng = Random.State.make [| seed |] in
+    (* Distinct initial priorities: a seeded Fisher-Yates shuffle of the
+       pids; earlier shuffle positions get higher priority.  Demotions at
+       change points assign fresh priorities below every initial one, so
+       priorities stay distinct throughout and the preferred process is
+       always unique. *)
+    let order = Array.of_list pids in
+    let len = Array.length order in
+    for i = len - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- tmp
+    done;
+    let prio = Hashtbl.create (max 16 len) in
+    Array.iteri (fun i p -> Hashtbl.replace prio p (len - i)) order;
+    let priority p = match Hashtbl.find_opt prio p with Some v -> v | None -> 0 in
+    (* The d-1 change points, as scheduling-step indices. *)
+    let change_points =
+      List.sort_uniq compare
+        (List.init (max 0 (depth - 1)) (fun _ ->
+             1 + Random.State.int rng (max 1 horizon)))
+    in
+    let next_low = ref 0 in
+    let demote p =
+      Hashtbl.replace prio p !next_low;
+      decr next_low
+    in
+    let rec loop sim budget steps cps =
+      if budget <= 0 then sim
+      else
+        let runnable =
+          List.filter (fun p -> not (Sim.is_terminated sim p)) pids
+        in
+        if runnable = [] then sim
+        else
+          let by_priority =
+            List.sort (fun p q -> compare (priority q) (priority p)) runnable
+          in
+          (* Step the highest-priority process that can make progress;
+             paused processes are passed over without a priority change. *)
+          let rec first_progress = function
+            | [] -> None
+            | p :: rest -> (
+              match poke behavior sim p with
+              | Some sim' -> Some (p, sim')
+              | None -> first_progress rest)
+          in
+          (match first_progress by_priority with
+          | None -> sim (* everyone pauses: nothing can ever progress *)
+          | Some (p, sim') ->
+            let steps = steps + 1 in
+            let cps =
+              match cps with
+              | c :: rest when steps >= c ->
+                demote p;
+                rest
+              | cps -> cps
+            in
+            loop sim' (budget - 1) steps cps)
+    in
+    loop sim max_events 0 change_points
   | Random_seed seed ->
     let rng = Random.State.make [| seed |] in
     let rec loop sim budget stuck =

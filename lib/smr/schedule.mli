@@ -24,6 +24,16 @@ type policy =
           steps therefore knows that every other mid-call process has taken
           at least one step meanwhile — the premise of timing-based
           algorithms like Fischer's lock. *)
+  | Pct of { seed : int; depth : int; horizon : int }
+      (** probabilistic concurrency testing (Burckhardt et al.): every
+          process gets a distinct random priority and the highest-priority
+          runnable process always steps, except at [depth - 1] change
+          points — scheduling-step indices drawn uniformly from
+          [\[1, horizon\]] — where the currently-preferred process is
+          demoted below everyone.  A bug of "depth" [d] (one needing [d]
+          ordering constraints) is hit with probability at least
+          [1 / (n * horizon^(d-1))] per seed, so sweeping seeds gives a
+          guaranteed detection rate that a uniform random walk lacks. *)
 
 val policy_name : policy -> string
 

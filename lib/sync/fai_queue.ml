@@ -36,22 +36,42 @@ let enqueue t p =
   else Program.write (Var.vec_get t.slots slot) (Some p)
 
 (* Visit every element in slots [from, tail), in order, and return the new
-   cursor (the tail observed at the start).  A slot that has been claimed
-   but not yet published is awaited — the claimant publishes it in its very
-   next step, so the wait is bounded under any fair schedule. *)
-let drain t ~from visit =
+   cursor (the tail observed at the start).
+
+   A slot that has been claimed but not yet published is awaited by
+   default — the claimant publishes it in its very next step, so the wait
+   is bounded under any fair schedule.  But a claimant that *crashes*
+   between its F&I and its publish leaves a hole the await spins on
+   forever.  [skip_unpublished = Some r] bounds the exposure: the drain
+   re-reads an empty slot [r] times and then moves past it.  Whether
+   skipping is safe is the caller's obligation; see {!Core.Dsm_queue} for
+   the signaling argument (the skipped claimant either crashed or has not
+   yet read the already-set global flag). *)
+let drain ?skip_unpublished t ~from visit =
   let* upto = Program.read t.tail in
   let rec go i =
     if i >= upto then Program.return upto
     else
       let slot = Var.vec_get t.slots i in
-      let* () = Program.await slot Option.is_some in
-      let* elem = Program.read slot in
-      match elem with
-      | Some q ->
+      let visit_and_continue q =
         let* () = visit q in
         go (i + 1)
-      | None -> assert false (* awaited Some above *)
+      in
+      match skip_unpublished with
+      | None ->
+        let* () = Program.await slot Option.is_some in
+        let* elem = Program.read slot in
+        (match elem with
+        | Some q -> visit_and_continue q
+        | None -> assert false (* awaited Some above *))
+      | Some retries ->
+        let rec probe attempt =
+          let* elem = Program.read slot in
+          match elem with
+          | Some q -> visit_and_continue q
+          | None -> if attempt >= retries then go (i + 1) else probe (attempt + 1)
+        in
+        probe 0
   in
   go from
 

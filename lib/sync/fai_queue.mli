@@ -18,11 +18,21 @@ val create : Var.Ctx.ctx -> capacity:int -> t
 val enqueue : t -> Op.pid -> unit Program.t
 (** Draw a slot and publish the caller's ID into it: 2 RMRs. *)
 
-val drain : t -> from:int -> (Op.pid -> unit Program.t) -> int Program.t
+val drain :
+  ?skip_unpublished:int ->
+  t ->
+  from:int ->
+  (Op.pid -> unit Program.t) ->
+  int Program.t
 (** [drain t ~from visit] reads the tail, runs [visit] on every element in
     slots [from, tail), and returns the observed tail (the next cursor).
-    A claimed-but-unpublished slot is awaited; the wait is bounded under any
-    fair schedule because the claimant publishes in its next step. *)
+    By default a claimed-but-unpublished slot is awaited; the wait is
+    bounded under any fair schedule because the claimant publishes in its
+    next step — but a claimant crashing between its F&I and its publish
+    leaves a permanent hole the await livelocks on.
+    [skip_unpublished = Some r] instead re-reads an empty slot [r] times
+    and then skips past it; the caller must argue that a skipped claimant
+    needs no visit (see [Core.Dsm_queue]). *)
 
 val length : t -> int Program.t
 (** Number of slots claimed so far. *)

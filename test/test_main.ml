@@ -27,4 +27,5 @@ let () =
       ("flat", Test_flat.suite);
       ("workload", Test_workload.suite);
       ("timeline", Test_timeline.suite);
-      ("trace", Test_trace.suite) ]
+      ("trace", Test_trace.suite);
+      ("fuzz", Test_fuzz.suite) ]
