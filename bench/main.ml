@@ -345,12 +345,55 @@ let load_json_table () =
           measure "minor_words_per_step" ]
     [ row (scenario "cc-flag" `Cc_wt); row (scenario "dsm-broadcast" `Dsm) ]
 
+(* Per-entry lint wall time — the figure `separation lint --timing`
+   reports, committed so the cost profile of the static analyses (two
+   extraction passes, the amortized cache interpretation, differential
+   fact validation) is tracked like the other substrate numbers.  One row
+   per catalog entry; the row set is schema-stable, the seconds are
+   wall-clock and never diffed. *)
+let lint_json_table () =
+  let metrics = Obs.Metrics.create () in
+  let reports = Core.Lint_catalog.run ~metrics () in
+  let seconds name =
+    List.fold_left
+      (fun acc (r : Obs.Metrics.row) ->
+        if
+          r.Obs.Metrics.metric = "lint_entry_seconds_sum"
+          && List.mem ("algorithm", name) r.Obs.Metrics.labels
+        then acc +. r.Obs.Metrics.value
+        else acc)
+      0.0
+      (Obs.Metrics.rows ~timing:true metrics)
+  in
+  let rows =
+    List.map
+      (fun (r : Analysis.Lint.report) ->
+        let name = r.Analysis.Lint.entry.Analysis.Registry.name in
+        Core.Results.
+          [ text name;
+            int (List.length r.Analysis.Lint.calls);
+            float ~digits:6 (seconds name);
+            bool r.Analysis.Lint.ok ])
+      reports
+  in
+  Core.Results.make ~experiment:"bench" ~part:"lint"
+    ~title:"Static lint wall time per catalog entry"
+    ~claim:
+      "wall-clock cost of the two-pass lint (CFG extraction, amortized \
+       cache interpretation, independence-fact validation) per registry \
+       entry"
+    ~columns:
+      Core.Results.
+        [ param "algorithm"; measure "calls"; measure "wall_s"; measure "ok" ]
+    rows
+
 (* Stdout is the JSON document, nothing else: `bench --json > BENCH_N.json`
    must produce a valid file (see README, "Perf baseline"). *)
 let run_json () =
   print_string
     (Core.Results.to_json_many
-       [ micro_json_table (); explore_json_table (); load_json_table () ])
+       [ micro_json_table (); explore_json_table (); load_json_table ();
+         lint_json_table () ])
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

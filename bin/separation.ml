@@ -112,6 +112,26 @@ let explore_cmd =
       value & opt int 2
       & info [ "polls" ] ~docv:"P" ~doc:"Maximum polls per waiter.")
   in
+  let signalers =
+    Arg.(
+      value & opt int 1
+      & info [ "signalers" ] ~docv:"S"
+          ~doc:
+            "Number of signaling processes (algorithms with flexible \
+             signaler sets only).  With two or more, one-shot flag \
+             algorithms hit write/write pairs on the flag — the case the \
+             static-independence facts resolve.")
+  in
+  let static_indep =
+    Arg.(
+      value & flag
+      & info [ "static-indep" ]
+          ~doc:
+            "Consult the static-independence facts computed from the \
+             algorithm's own CFGs (const-write cells) in the sleep-set \
+             POR, instead of the generic syntactic relation alone.  \
+             Verdicts are unchanged; states visited can only shrink.")
+  in
   let cap =
     Arg.(
       value & opt int 1_000_000
@@ -141,29 +161,64 @@ let explore_cmd =
       value & flag
       & info [ "no-por" ] ~doc:"Disable sleep-set partial-order reduction.")
   in
-  let run (module A : Core.Signaling.POLLING) n waiters polls cap jobs json
-      no_dedup no_por =
+  let run (module A : Core.Signaling.POLLING) n waiters polls signalers
+      static_indep cap jobs json no_dedup no_por =
     let open Smr in
     let ctx = Var.Ctx.create () in
-    let waiter_pids = List.init waiters (fun i -> i + 1) in
-    let cfg = Core.Signaling.config ~n ~waiters:waiter_pids ~signalers:[ 0 ] in
+    let signaler_pids = List.init signalers (fun i -> i) in
+    let waiter_pids = List.init waiters (fun i -> i + signalers) in
+    let cfg =
+      Core.Signaling.config ~n ~waiters:waiter_pids ~signalers:signaler_pids
+    in
     let inst = Core.Signaling.instantiate (module A) ctx cfg in
     let layout = Var.Ctx.freeze ctx in
     let scripts =
-      ( 0,
-        Explore.of_list
-          [ (Core.Signaling.signal_label, inst.Core.Signaling.i_signal 0) ] )
-      :: List.map
-           (fun w ->
-             ( w,
-               Explore.repeat ~limit:polls
-                 ~until:(fun r -> r = 1)
-                 (Core.Signaling.poll_label, inst.Core.Signaling.i_poll w) ))
-           waiter_pids
+      List.map
+        (fun s ->
+          ( s,
+            Explore.of_list
+              [ (Core.Signaling.signal_label, inst.Core.Signaling.i_signal s) ]
+          ))
+        signaler_pids
+      @ List.map
+          (fun w ->
+            ( w,
+              Explore.repeat ~limit:polls
+                ~until:(fun r -> r = 1)
+                (Core.Signaling.poll_label, inst.Core.Signaling.i_poll w) ))
+          waiter_pids
+    in
+    (* The facts are computed from the CFGs of the very programs the
+       scripts run, so the extended relation is sound for this search
+       (Explore.check's [commute] contract).  An incomplete unfolding
+       yields no facts and we fall back to the generic relation. *)
+    let commute =
+      if not static_indep then Op.commute
+      else begin
+        let values = Analysis.Lint.value_domain ~n ~layout in
+        let extract pid prog =
+          Analysis.Cfg.extract ~values ~exclusive:(fun _ -> false) ~pid prog
+        in
+        let cfgs =
+          List.map
+            (fun s -> (s, extract s (inst.Core.Signaling.i_signal s)))
+            signaler_pids
+          @ List.map
+              (fun w -> (w, extract w (inst.Core.Signaling.i_poll w)))
+              waiter_pids
+        in
+        let facts = Analysis.Independence.of_cfgs cfgs in
+        Fmt.epr "static-indep: %d const-write fact(s)%s@."
+          (List.length facts.Analysis.Independence.const_writes)
+          (match Analysis.Independence.fact_names ~layout facts with
+          | [] -> ""
+          | names -> ": " ^ String.concat ", " names);
+        Analysis.Independence.commute facts
+      end
     in
     let r =
       Explore.check ~max_histories:cap ~dedup:(not no_dedup) ~por:(not no_por)
-        ~jobs ~layout ~model:(Cost_model.dsm layout) ~n ~scripts
+        ~commute ~jobs ~layout ~model:(Cost_model.dsm layout) ~n ~scripts
         ~property:Core.Signaling.polling_ok
         ()
     in
@@ -179,8 +234,9 @@ let explore_cmd =
         ~params:
           Core.Results.
             [ ("algorithm", text A.name); ("n", int n); ("waiters", int waiters);
-              ("polls", int polls); ("cap", int cap);
-              ("dedup", bool (not no_dedup)); ("por", bool (not no_por)) ]
+              ("polls", int polls); ("signalers", int signalers);
+              ("cap", int cap); ("dedup", bool (not no_dedup));
+              ("por", bool (not no_por)); ("static_indep", bool static_indep) ]
         ~columns:
           Core.Results.
             [ measure "histories"; measure "truncated"; measure "complete";
@@ -225,7 +281,7 @@ let explore_cmd =
           else
             match
               (Explore.check ~max_histories:cap ~dedup:(not no_dedup)
-                 ~por:(not no_por) ~lean:false ~jobs ~layout
+                 ~por:(not no_por) ~commute ~lean:false ~jobs ~layout
                  ~model:(Cost_model.dsm layout) ~n ~scripts
                  ~property:Core.Signaling.polling_ok ())
                 .Explore.violation
@@ -242,8 +298,8 @@ let explore_cmd =
          "Exhaustively enumerate every interleaving of a small \
           configuration and check Specification 4.1.")
     Term.(
-      const run $ algo $ n_arg $ waiters $ polls $ cap $ jobs $ json $ no_dedup
-      $ no_por)
+      const run $ algo $ n_arg $ waiters $ polls $ signalers $ static_indep
+      $ cap $ jobs $ json $ no_dedup $ no_por)
 
 let adversary_cmd =
   let rounds =
@@ -525,10 +581,10 @@ let experiments_cmd =
     tables_term
 
 (* `lint` statically verifies every registered algorithm's declared claims
-   (primitive class, spin locality, DSM RMR bound, write ownership) over
-   its extracted control-flow graph, plus the Op.commute differential
-   check behind Explore's POR.  Nonzero exit on any violation, so CI can
-   gate on it. *)
+   (primitive class, spin locality, DSM RMR bound, amortized CC RMR bound,
+   write ownership, const-write independence facts) over its extracted
+   control-flow graph, plus the Op.commute differential check behind
+   Explore's POR.  Nonzero exit on any violation, so CI can gate on it. *)
 let lint_cmd =
   let names =
     Arg.(
@@ -537,6 +593,24 @@ let lint_cmd =
           ~doc:
             "Algorithm entries to lint (as listed in the report); all \
              non-mutant entries when omitted.  Unknown names are an error.")
+  in
+  let only =
+    Arg.(
+      value & opt_all string []
+      & info [ "only" ] ~docv:"ALGORITHM"
+          ~doc:
+            "Lint only this entry (repeatable; combines with positional \
+             names).  Handy with $(b,--timing) to profile one expensive \
+             unfolding.")
+  in
+  let timing =
+    Arg.(
+      value & flag
+      & info [ "timing" ]
+          ~doc:
+            "Print the per-entry wall-time histogram \
+             ($(b,lint_entry_seconds), labeled by algorithm) to stderr \
+             after linting.")
   in
   let json =
     Arg.(
@@ -566,14 +640,20 @@ let lint_cmd =
              small fixed counts).  Response domains grow with $(docv), so \
              keep it small.")
   in
-  let run n json mutants fuel names =
-    let names = match names with [] -> None | l -> Some l in
+  let run n json mutants fuel timing only names =
+    let names = match names @ only with [] -> None | l -> Some l in
+    let metrics = Obs.Metrics.create () in
     let reports =
-      try Core.Lint_catalog.run ~n ~mutants ?fuel ?names ()
+      try Core.Lint_catalog.run ~n ~mutants ?fuel ?names ~metrics ()
       with Invalid_argument msg ->
         Fmt.epr "separation: %s@." msg;
         exit 2
     in
+    if timing then
+      Fmt.epr "%s"
+        (Core.Report.to_string
+           (Core.Results.to_report
+              (Core.Observe.metrics_table ~timing:true metrics)));
     let commute = Analysis.Commute_check.run () in
     let tables =
       [ Core.Lint_catalog.lint_table reports;
@@ -604,10 +684,11 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Statically verify each algorithm's declared claims (primitive \
-          class, local-spin, DSM RMR bound, write ownership) over its \
-          extracted control-flow graph, and differentially check the POR \
+          class, local-spin, DSM RMR bound, amortized CC RMR bound, write \
+          ownership, const-write independence facts) over its extracted \
+          control-flow graph, and differentially check the POR \
           independence relation.  Exits nonzero on any violation.")
-    Term.(const run $ lint_n $ json $ mutants $ fuel $ names)
+    Term.(const run $ lint_n $ json $ mutants $ fuel $ timing $ only $ names)
 
 (* `load` runs the open-system workload driver over the flat engine: waiters
    arrive by a seeded arrival process, poll a few times and leave (or crash),
@@ -841,8 +922,8 @@ let fuzz_cmd =
       & info [ "oracle" ] ~docv:"NAME"
           ~doc:
             "Restrict to the named oracle (repeatable): lean-vs-full, \
-             sim-vs-flat, por-vs-nopor, claims-vs-measured, cc-invariants.  \
-             All five when omitted.")
+             sim-vs-flat, por-vs-nopor, claims-vs-measured, \
+             amortized-vs-measured, cc-invariants.  All six when omitted.")
   in
   let mutants =
     Arg.(
@@ -896,7 +977,9 @@ let fuzz_cmd =
          "Stream seeded random cases (programs, catalog scripts, lint \
           entries) through the differential oracle lattice: lean vs full \
           machine, persistent vs flat engine, POR vs literal exploration, \
-          static claims vs measured RMRs, and the CC cost-model invariants.  \
+          static claims vs measured RMRs, proven amortized CC bounds vs \
+          the workload driver's measurements, and the CC cost-model \
+          invariants.  \
           Shrinks any disagreement to a minimal replayable case and exits \
           nonzero.")
     Term.(const run $ seed $ cases $ budget $ oracle $ mutants $ only $ json)

@@ -1,0 +1,167 @@
+(* The static-independence pass: from the extracted CFGs of every process
+   of an algorithm, compute operation pairs that commute *beyond* what
+   {!Smr.Op.commute} already knows, and validate each emitted fact
+   differentially the same way {!Commute_check} validates the generic
+   relation.
+
+   The generic relation is purely syntactic: different cells always
+   commute, same-cell pairs only when both are read-only.  A CFG gives one
+   more sound fact for free: if every reachable non-read-only operation on
+   cell [a], across every process, is a [Write] of one single value [v],
+   then two cross-process [Write (a, v)] steps commute at instance level —
+   either order leaves the same memory value, both responses are the
+   write's constant acknowledgement, and any load-link on [a] is killed
+   either way.  That is exactly the shape of one-shot signal flags (cc-flag
+   writes [B := 1] and nothing else ever mutates [B]), where the generic
+   relation sees a write/write conflict on every signaler pair.
+
+   Soundness note: the facts are computed from the *over-approximating*
+   unfolding ({!Cfg.extract} explores a superset of real paths), so a write
+   present in some real execution is present in the CFG; a cell qualifies
+   only if no other mutation shape appears anywhere.  Facts from an
+   incomplete (fuel-cut) CFG are not emitted at all. *)
+
+open Smr
+
+type facts = {
+  const_writes : (Op.addr * Op.value) list;
+  co_kinds : (Op.addr * Op.kind * Op.kind) list;
+}
+
+let empty = { const_writes = []; co_kinds = [] }
+
+module Addr_map = Map.Make (Int)
+
+let of_cfgs cfgs =
+  if List.exists (fun (_, cfg) -> not cfg.Cfg.complete) cfgs then empty
+  else begin
+    (* Per cell: every (pid, invocation) reaching it. *)
+    let by_addr =
+      List.fold_left
+        (fun acc (pid, cfg) ->
+          List.fold_left
+            (fun acc inv ->
+              let a = Op.addr_of inv in
+              let prev = Option.value ~default:[] (Addr_map.find_opt a acc) in
+              Addr_map.add a ((pid, inv) :: prev) acc)
+            acc (Cfg.invocations cfg))
+        Addr_map.empty cfgs
+    in
+    let const_writes =
+      Addr_map.fold
+        (fun a uses acc ->
+          let muts =
+            List.filter (fun (_, inv) -> not (Op.is_read_only inv)) uses
+          in
+          let values =
+            List.filter_map
+              (fun (_, inv) ->
+                match inv with Op.Write (_, v) -> Some v | _ -> None)
+              muts
+          in
+          match (muts, List.sort_uniq compare values) with
+          | _ :: _, [ v ] when List.length values = List.length muts ->
+            (a, v) :: acc
+          | _ -> acc)
+        by_addr []
+      |> List.rev
+    in
+    let co_kinds =
+      Addr_map.fold
+        (fun a uses acc ->
+          let pairs =
+            List.concat_map
+              (fun (p, ip) ->
+                List.filter_map
+                  (fun (q, iq) ->
+                    if p >= q then None
+                    else
+                      let k1 = Op.kind ip and k2 = Op.kind iq in
+                      let k1, k2 = if k1 <= k2 then (k1, k2) else (k2, k1) in
+                      Some (a, k1, k2))
+                  uses)
+              uses
+          in
+          pairs @ acc)
+        by_addr []
+      |> List.sort_uniq compare
+    in
+    { const_writes; co_kinds }
+  end
+
+let commute facts p q =
+  Op.commute p q
+  ||
+  match (p, q) with
+  | Op.Write (x, v), Op.Write (y, w) ->
+    x = y && v = w && List.mem (x, v) facts.const_writes
+  | _ -> false
+
+(* Differential validation of each const-write fact, in the style of
+   {!Commute_check}: replay the pair in both orders through the real
+   {!Smr.Memory} on the entry's own layout, over every priming value and
+   every subset of pre-held load-links, and demand identical memory
+   fingerprints and identical per-process responses. *)
+let validate ~layout facts =
+  let link_sites = [ 0; 1; 2 ] in
+  let link_subsets =
+    List.fold_left
+      (fun acc site -> acc @ List.map (fun s -> site :: s) acc)
+      [ [] ] link_sites
+  in
+  let checked = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun (a, v) ->
+      let init = Var.layout_init layout a in
+      let primes = List.sort_uniq compare [ -1; 0; 1; init; v ] in
+      List.iter
+        (fun v0 ->
+          List.iter
+            (fun links ->
+              incr checked;
+              let m0 = Memory.create layout in
+              let m0 =
+                if v0 = init then m0
+                else (Memory.apply m0 ~pid:2 (Op.Write (a, v0))).Memory.memory
+              in
+              let m0 =
+                List.fold_left
+                  (fun m pid -> (Memory.apply m ~pid (Op.Ll a)).Memory.memory)
+                  m0 links
+              in
+              let both first second =
+                let r1 = Memory.apply m0 ~pid:first (Op.Write (a, v)) in
+                let r2 =
+                  Memory.apply r1.Memory.memory ~pid:second (Op.Write (a, v))
+                in
+                (Memory.fingerprint r2.Memory.memory, r1.Memory.response,
+                 r2.Memory.response)
+              in
+              let fp01, resp0_a, resp1_a = both 0 1 in
+              let fp10, resp1_b, resp0_b = both 1 0 in
+              if fp01 <> fp10 then
+                failures :=
+                  Printf.sprintf
+                    "independence: %s=%d const-write fact refuted: memories \
+                     diverge (prime %d, links {%s})"
+                    (Var.layout_name layout a) v v0
+                    (String.concat "," (List.map string_of_int links))
+                  :: !failures
+              else if resp0_a <> resp0_b || resp1_a <> resp1_b then
+                failures :=
+                  Printf.sprintf
+                    "independence: %s=%d const-write fact refuted: responses \
+                     diverge (prime %d, links {%s})"
+                    (Var.layout_name layout a) v v0
+                    (String.concat "," (List.map string_of_int links))
+                  :: !failures)
+            link_subsets)
+        primes)
+    facts.const_writes;
+  (!checked, List.rev !failures)
+
+let fact_names ~layout facts =
+  List.map
+    (fun (a, v) -> Printf.sprintf "%s=%d" (Var.layout_name layout a) v)
+    facts.const_writes

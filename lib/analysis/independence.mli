@@ -1,0 +1,43 @@
+(** The static-independence pass: per-algorithm commutation facts beyond
+    the syntactic {!Smr.Op.commute}, computed from the extracted CFGs and
+    validated differentially in the style of {!Commute_check}.
+
+    The one fact shape emitted today is the {e const-write} cell: if every
+    reachable non-read-only operation on a cell, across all processes, is a
+    [Write] of one single value, then two cross-process writes of that
+    value commute at instance level.  That turns the write/write "conflict"
+    between two signalers of a one-shot flag into an independent pair the
+    sleep-set POR in {!Smr.Explore} can exploit. *)
+
+open Smr
+
+type facts = {
+  const_writes : (Op.addr * Op.value) list;
+      (** cells whose every reachable mutation is [Write] of this value *)
+  co_kinds : (Op.addr * Op.kind * Op.kind) list;
+      (** per cell, the kind pairs that can co-occur across two distinct
+          processes (unordered, smaller kind first) — the pairs a POR
+          exploration of this algorithm can actually encounter *)
+}
+
+val empty : facts
+
+val of_cfgs : (Op.pid * Cfg.t) list -> facts
+(** Compute facts from one CFG per (process, call).  Returns {!empty} if
+    any CFG is incomplete (fuel-cut): facts from a partial unfolding would
+    be unsound. *)
+
+val commute : facts -> Op.invocation -> Op.invocation -> bool
+(** {!Smr.Op.commute} extended with the const-write facts.  Sound as an
+    [?commute] argument to {!Smr.Explore.check} only for scripts whose
+    reachable operations the CFGs cover — i.e. built from the same
+    programs the facts were computed from. *)
+
+val validate : layout:Var.layout -> facts -> int * string list
+(** Differentially check every const-write fact on the real {!Smr.Memory}:
+    both orders of the pair, over every priming value and subset of
+    pre-held load-links, demanding identical fingerprints and responses.
+    Returns (scenarios checked, refutations). *)
+
+val fact_names : layout:Var.layout -> facts -> string list
+(** Human-readable facts, e.g. [["B=1"]]. *)

@@ -10,6 +10,7 @@ type call_report = {
   classes : Op.primitive_class list;
   spin : Claims.spin;
   rmrs : Claims.bound;
+  amortized : Amortized.result;
   violations : string list;
 }
 
@@ -17,6 +18,9 @@ type report = {
   entry : Registry.entry;
   calls : call_report list;
   writer_violations : string list;
+  facts : Independence.facts;
+  indep_checked : int;
+  indep_violations : string list;
   ok : bool;
 }
 
@@ -39,18 +43,17 @@ let base_name layout addr =
   | Some i -> String.sub name 0 i
   | None -> name
 
+let value_domain ~n ~layout =
+  let inits = List.map (Var.layout_init layout) (Var.layout_addrs layout) in
+  (* -1 covers the pid_opt NIL encoding; 0..n covers pids, booleans and
+     small counters; initial values cover whatever the code compares
+     against at start-up. *)
+  List.sort_uniq compare ((-1) :: List.init (n + 1) (fun i -> i) @ inits)
+
 let default_values entry =
   match entry.Registry.values with
   | Some vs -> vs
-  | None ->
-    let inits =
-      List.map (Var.layout_init entry.layout) (Var.layout_addrs entry.layout)
-    in
-    (* -1 covers the pid_opt NIL encoding; 0..n covers pids, booleans and
-       small counters; initial values cover whatever the code compares
-       against at start-up. *)
-    List.sort_uniq compare
-      ((-1) :: List.init (entry.n + 1) (fun i -> i) @ inits)
+  | None -> value_domain ~n:entry.Registry.n ~layout:entry.Registry.layout
 
 let run ?fuel ?unroll entry =
   let fuel =
@@ -87,17 +90,33 @@ let run ?fuel ?unroll entry =
     match writers_of a with [] -> true | [ q ] -> q = pid | _ -> false
   in
   let model = Cost_model.dsm entry.layout in
+  (* A cell counts as externally mutable for [pid] when any other process
+     may perform a non-read-only operation on it — the invalidation class
+     the amortized pass's refill accounting uses (failed comparisons
+     included, hence the pass-1 writers map is exactly the right source). *)
+  let ext_mut_for pid a = List.exists (fun q -> q <> pid) (writers_of a) in
   (* Pass 2: owned-cell tracking on, evaluate the checks per call. *)
-  let calls =
+  let call_cfgs =
     List.map
       (fun (call : Registry.call) ->
-        let claim = Claims.call entry.claims call.label in
-        let cfgs =
+        ( call,
           List.map
             (fun pid ->
-              extract ~exclusive:(exclusive_for pid) pid (call.program pid))
-            call.pids
-        in
+              ( pid,
+                extract ~exclusive:(exclusive_for pid) pid (call.program pid)
+              ))
+            call.pids ))
+      entry.calls
+  in
+  (* Static-independence facts come from every call's CFGs together: a
+     const-write fact must survive every mutation the algorithm can
+     perform on the cell, whichever call performs it. *)
+  let facts = Independence.of_cfgs (List.concat_map snd call_cfgs) in
+  let calls =
+    List.map
+      (fun ((call : Registry.call), pid_cfgs) ->
+        let claim = Claims.call entry.claims call.label in
+        let cfgs = List.map snd pid_cfgs in
         let nodes = List.fold_left (fun a c -> a + Cfg.size c) 0 cfgs in
         let cycles =
           List.fold_left (fun a c -> a + List.length c.Cfg.cycles) 0 cfgs
@@ -118,6 +137,40 @@ let run ?fuel ?unroll entry =
           List.fold_left
             (fun acc c -> bound_max acc (Checks.worst_rmrs ~model c))
             (Claims.Rmr 0) cfgs
+        in
+        let amortized =
+          (* Worst over the analyzed processes, componentwise: the claim
+             must hold for whichever process pays the most. *)
+          List.fold_left
+            (fun acc (pid, cfg) ->
+              let r = Amortized.analyze ~ext_mut:(ext_mut_for pid) cfg in
+              {
+                Amortized.cold = bound_max acc.Amortized.cold r.Amortized.cold;
+                steady = bound_max acc.Amortized.steady r.Amortized.steady;
+                refills = max acc.Amortized.refills r.Amortized.refills;
+                footprint =
+                  List.sort_uniq compare
+                    (acc.Amortized.footprint @ r.Amortized.footprint);
+              })
+            {
+              Amortized.cold = Claims.Rmr 0;
+              steady = Claims.Rmr 0;
+              refills = 0;
+              footprint = [];
+            }
+            pid_cfgs
+        in
+        let amortized_observed =
+          (* Abortable/Recoverable flavors are checked as worst-path
+             (cold-cache) bounds until abort/crash-recover semantics land
+             in the DSL; Amortized proper gets the cache-fixpoint bound. *)
+          match claim.Claims.cc_amortized with
+          | Claims.Amortized _ ->
+            { Claims.steady = amortized.Amortized.steady;
+              refills = amortized.Amortized.refills }
+          | Claims.Abortable _ | Claims.Recoverable _ ->
+            { Claims.steady = amortized.Amortized.cold;
+              refills = amortized.Amortized.refills }
         in
         let violations =
           List.concat
@@ -156,6 +209,18 @@ let run ?fuel ?unroll entry =
                      (Claims.bound_name rmrs)
                      (Claims.bound_name claim.Claims.dsm_rmrs);
                  ]);
+              (if
+                 Claims.amortized_leq amortized_observed
+                   (Claims.amortized_of claim.Claims.cc_amortized)
+               then []
+               else
+                 [
+                   Printf.sprintf
+                     "amortized: observed %s per call under any CC \
+                      protocol, claimed %s"
+                     (Claims.amortized_name amortized_observed)
+                     (Claims.cc_amortized_name claim.Claims.cc_amortized);
+                 ]);
             ]
         in
         {
@@ -168,9 +233,10 @@ let run ?fuel ?unroll entry =
           classes;
           spin;
           rmrs;
+          amortized;
           violations;
         })
-      entry.calls
+      call_cfgs
   in
   let writer_violations =
     List.filter_map
@@ -195,11 +261,44 @@ let run ?fuel ?unroll entry =
                (String.concat "," (List.map string_of_int ws))))
       entry.claims.Claims.single_writer
   in
+  (* Declared const-write claims must be backed by a computed fact on every
+     written cell of the base; the computed facts themselves are then
+     validated differentially on the entry's own layout. *)
+  let declared_violations =
+    List.filter_map
+      (fun base ->
+        let offenders =
+          Addr_map.fold
+            (fun a ws acc ->
+              if
+                base_name entry.layout a = base
+                && ws <> []
+                && not (List.mem_assoc a facts.Independence.const_writes)
+              then a :: acc
+              else acc)
+            writers []
+        in
+        match offenders with
+        | [] -> None
+        | a :: _ ->
+          Some
+            (Printf.sprintf
+               "independence: %s declared const-write but %s is mutated \
+                with more than one value or by non-write primitives"
+               base
+               (Var.layout_name entry.layout a)))
+      entry.claims.Claims.const_writes
+  in
+  let indep_checked, fact_failures =
+    Independence.validate ~layout:entry.layout facts
+  in
+  let indep_violations = declared_violations @ fact_failures in
   let ok =
     writer_violations = []
+    && indep_violations = []
     && List.for_all (fun c -> c.violations = []) calls
   in
-  { entry; calls; writer_violations; ok }
+  { entry; calls; writer_violations; facts; indep_checked; indep_violations; ok }
 
 let run_all ?fuel ?unroll entries = List.map (run ?fuel ?unroll) entries
 
@@ -208,3 +307,4 @@ let all_ok reports = List.for_all (fun r -> r.ok) reports
 let violations r =
   List.concat_map (fun c -> List.map (fun v -> c.call ^ ": " ^ v) c.violations) r.calls
   @ r.writer_violations
+  @ r.indep_violations

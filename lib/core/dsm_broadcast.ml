@@ -38,6 +38,7 @@ let poll = Dsm_fixed_waiters.poll
 let claims ~n =
   Analysis.Claims.
     { single_writer = [ "V" ];
+      const_writes = [];
       calls =
-        [ ("signal", { spin = No_spin; dsm_rmrs = Rmr (n - 1) });
-          ("poll", { spin = No_spin; dsm_rmrs = Rmr 0 }) ] }
+        [ ("signal", { spin = No_spin; dsm_rmrs = Rmr (n - 1); cc_amortized = Amortized { steady = Rmr n; refills = 0 } });
+          ("poll", { spin = No_spin; dsm_rmrs = Rmr 0; cc_amortized = Amortized { steady = Rmr 0; refills = 1 } }) ] }

@@ -60,9 +60,10 @@ let signal t _p =
    mark, own flag); Signal() busy-waits on each participant's part[j] cell
    — remote spinning, which is exactly the cost this terminating variant
    accepts to let waiters stop participating. *)
-let claims ~n:_ =
+let claims ~n =
   Analysis.Claims.
     { single_writer = [ "V"; "part" ];
+      const_writes = [];
       calls =
-        [ ("signal", { spin = Remote_spin; dsm_rmrs = Unbounded });
-          ("poll", { spin = No_spin; dsm_rmrs = Rmr 0 }) ] }
+        [ ("signal", { spin = Remote_spin; dsm_rmrs = Unbounded; cc_amortized = Amortized { steady = Rmr (n - 1); refills = n - 1 } });
+          ("poll", { spin = No_spin; dsm_rmrs = Rmr 0; cc_amortized = Amortized { steady = Rmr 1; refills = 1 } }) ] }

@@ -96,9 +96,10 @@ let signal t _p =
    cannot express; Signal() drains the queue, busy-waiting on each claimed
    slot's publication (remote, unbounded — but amortized O(1) per
    registration, E5). *)
-let claims ~n:_ =
+let claims ~n =
   Analysis.Claims.
     { single_writer = [ "G"; "V"; "registered"; "observed" ];
+      const_writes = [];
       calls =
-        [ ("signal", { spin = Remote_spin; dsm_rmrs = Unbounded });
-          ("poll", { spin = No_spin; dsm_rmrs = Rmr 3 }) ] }
+        [ ("signal", { spin = Remote_spin; dsm_rmrs = Unbounded; cc_amortized = Amortized { steady = Unbounded; refills = n + 1 } });
+          ("poll", { spin = No_spin; dsm_rmrs = Rmr 3; cc_amortized = Amortized { steady = Rmr 5; refills = 2 } }) ] }

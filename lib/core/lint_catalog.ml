@@ -112,7 +112,7 @@ let register ?(n = 4) () =
        (module Sync.Yang_anderson));
   Lint_mutants.register ~n
 
-let run ?n ?(mutants = false) ?fuel ?names () =
+let run ?n ?(mutants = false) ?fuel ?names ?metrics () =
   register ?n ();
   let entries = Analysis.Registry.all ~mutants:true () in
   let entries =
@@ -128,7 +128,15 @@ let run ?n ?(mutants = false) ?fuel ?names () =
           | None -> invalid_arg (Printf.sprintf "lint: unknown algorithm %S" name))
         names
   in
-  Analysis.Lint.run_all ?fuel entries
+  let lint entry =
+    match metrics with
+    | None -> Analysis.Lint.run ?fuel entry
+    | Some m ->
+      Obs.Metrics.time m "lint_entry_seconds"
+        ~labels:[ ("algorithm", entry.Analysis.Registry.name) ]
+        (fun () -> Analysis.Lint.run ?fuel entry)
+  in
+  List.map lint entries
 
 let class_tag = function
   | Op.Reads_writes -> "rw"
@@ -144,8 +152,10 @@ let lint_table reports =
       Results.measure "stuck"; Results.measure "complete";
       Results.measure "classes"; Results.measure "spin";
       Results.measure "claim_spin"; Results.measure "rmr_worst";
-      Results.measure "claim_rmr"; Results.measure "violations";
-      Results.measure "ok" ]
+      Results.measure "claim_rmr"; Results.measure "cc_cold";
+      Results.measure "cc_amortized"; Results.measure "claim_cc_amortized";
+      Results.measure "facts"; Results.measure "indep_checked";
+      Results.measure "violations"; Results.measure "ok" ]
   in
   let rows =
     List.concat_map
@@ -155,6 +165,7 @@ let lint_table reports =
           List.map
             (fun (c : Analysis.Lint.call_report) ->
               let claim = Analysis.Claims.call entry.claims c.call in
+              let am = c.Analysis.Lint.amortized in
               [ Results.text entry.Analysis.Registry.name;
                 Results.text c.call;
                 Results.int entry.Analysis.Registry.n;
@@ -166,30 +177,56 @@ let lint_table reports =
                 Results.text (Analysis.Claims.bound_name c.rmrs);
                 Results.text
                   (Analysis.Claims.bound_name claim.Analysis.Claims.dsm_rmrs);
+                Results.text (Analysis.Claims.bound_name am.Analysis.Amortized.cold);
+                Results.text
+                  (Analysis.Claims.amortized_name
+                     { Analysis.Claims.steady = am.Analysis.Amortized.steady;
+                       refills = am.Analysis.Amortized.refills });
+                Results.text
+                  (Analysis.Claims.cc_amortized_name
+                     claim.Analysis.Claims.cc_amortized);
+                Results.text ""; Results.int 0;
                 Results.text (String.concat "; " c.violations);
                 Results.bool (c.violations = []) ])
             r.Analysis.Lint.calls
         in
+        let entry_row ~call ~facts ~checked vs ok =
+          [ Results.text entry.Analysis.Registry.name;
+            Results.text call;
+            Results.int entry.Analysis.Registry.n;
+            Results.int 0; Results.int 0; Results.int 0; Results.int 0;
+            Results.bool true; Results.text ""; Results.text "";
+            Results.text ""; Results.text ""; Results.text "";
+            Results.text ""; Results.text ""; Results.text "";
+            Results.text facts; Results.int checked;
+            Results.text (String.concat "; " vs); Results.bool ok ]
+        in
         let writer_rows =
           match r.Analysis.Lint.writer_violations with
           | [] -> []
-          | vs ->
-            [ [ Results.text entry.Analysis.Registry.name;
-                Results.text "(writers)";
-                Results.int entry.Analysis.Registry.n;
-                Results.int 0; Results.int 0; Results.int 0; Results.int 0;
-                Results.bool true; Results.text ""; Results.text "";
-                Results.text ""; Results.text ""; Results.text "";
-                Results.text (String.concat "; " vs); Results.bool false ] ]
+          | vs -> [ entry_row ~call:"(writers)" ~facts:"" ~checked:0 vs false ]
         in
-        call_rows @ writer_rows)
+        let fact_rows =
+          let facts =
+            String.concat ","
+              (Analysis.Independence.fact_names ~layout:entry.layout
+                 r.Analysis.Lint.facts)
+          in
+          let vs = r.Analysis.Lint.indep_violations in
+          if facts = "" && vs = [] then []
+          else
+            [ entry_row ~call:"(facts)" ~facts
+                ~checked:r.Analysis.Lint.indep_checked vs (vs = []) ]
+        in
+        call_rows @ writer_rows @ fact_rows)
       reports
   in
   Results.make ~experiment:"lint" ~part:"claims"
     ~title:"Static lint: paper-claimed properties vs the extracted CFGs"
     ~claim:
       "every shipped algorithm's declared primitive class, spin locality, \
-       DSM RMR bound and write ownership hold over its response-branching \
+       DSM RMR bound, amortized CC RMR bound, write ownership and \
+       static-independence facts hold over its response-branching \
        control-flow graph"
     ~columns rows
 

@@ -17,10 +17,14 @@ val run :
   ?mutants:bool ->
   ?fuel:int ->
   ?names:string list ->
+  ?metrics:Obs.Metrics.t ->
   unit ->
   Analysis.Lint.report list
 (** Register and lint.  [names] restricts to the named entries (unknown
-    names raise [Invalid_argument]). *)
+    names raise [Invalid_argument]).  With [metrics], each entry's lint
+    wall time is recorded in the [lint_entry_seconds] histogram, labeled
+    by algorithm — the per-entry cost profile behind `separation lint`'s
+    [--timing] report. *)
 
 val lint_table : Analysis.Lint.report list -> Results.table
 (** One row per analyzed call: CFG statistics, observed properties,

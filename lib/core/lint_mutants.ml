@@ -4,6 +4,10 @@ let remote_spin_name = "mutant-remote-spin"
 
 let cas_flag_name = "mutant-cas-flag"
 
+let amortized_scan_name = "mutant-amortized-scan"
+
+let indep_fact_name = "mutant-indep-fact"
+
 (* dsm-fixed's broadcast shape, but the flags land in the shared module:
    the Wait() spin is remote, contradicting the local-spin claim below. *)
 module Remote_spin_wait = struct
@@ -25,9 +29,10 @@ module Remote_spin_wait = struct
   let claims ~n =
     Analysis.Claims.
       { single_writer = [ "V" ];
+        const_writes = [];
         calls =
-          [ ("signal", { spin = No_spin; dsm_rmrs = Rmr n });
-            ("wait", { spin = Local_spin (* the lie *); dsm_rmrs = Unbounded }) ] }
+          [ ("signal", { spin = No_spin; dsm_rmrs = Rmr n; cc_amortized = Amortized { steady = Unbounded; refills = 64 } });
+            ("wait", { spin = Local_spin (* the lie *); dsm_rmrs = Unbounded; cc_amortized = Amortized { steady = Unbounded; refills = 64 } }) ] }
 end
 
 (* cc-flag, except Signal() sneaks in a CAS while the declared primitive
@@ -49,9 +54,84 @@ module Cas_flag = struct
   let claims ~n:_ =
     Analysis.Claims.
       { single_writer = [ "B" ];
+        const_writes = [];
         calls =
-          [ ("signal", { spin = No_spin; dsm_rmrs = Rmr 1 });
-            ("poll", { spin = No_spin; dsm_rmrs = Rmr 1 }) ] }
+          [ ("signal", { spin = No_spin; dsm_rmrs = Rmr 1; cc_amortized = Amortized { steady = Unbounded; refills = 64 } });
+            ("poll", { spin = No_spin; dsm_rmrs = Rmr 1; cc_amortized = Amortized { steady = Unbounded; refills = 64 } }) ] }
+end
+
+(* cc-flag with a hidden periodic remote scan: Signal() also reads every
+   waiter's heartbeat cell — cells the waiters themselves write — before
+   setting the flag.  Each heartbeat read is re-invalidated by the waiter's
+   next poll, so the signaler's cache never reaches a free fixpoint: the
+   true refill count is n-1, while the claim below still advertises the
+   cc-flag headline of one RMR per Signal with no surcharge.  The
+   amortized check must reject exactly this. *)
+module Amortized_scan = struct
+  type t = { flag : bool Var.t; heartbeat : bool Var.t array }
+
+  let create ctx ~n =
+    { flag = Var.Ctx.bool ctx ~name:"B" ~home:Var.Shared false;
+      heartbeat =
+        Var.Ctx.bool_array ctx ~name:"hb"
+          ~home:(fun _ -> Var.Shared)
+          n
+          (fun _ -> false) }
+
+  let signal t _p =
+    Program.seq
+      (List.init
+         (Array.length t.heartbeat - 1)
+         (fun j -> Program.map ignore (Program.read t.heartbeat.(j + 1)))
+      @ [ Program.write t.flag true ])
+
+  let poll t p =
+    Program.bind (Program.write t.heartbeat.(p) true) (fun () ->
+        Program.read t.flag)
+
+  let claims ~n:_ =
+    Analysis.Claims.
+      { single_writer = [ "B" ];
+        const_writes = [];
+        calls =
+          [ ("signal",
+             { spin = No_spin;
+               dsm_rmrs = Unbounded;
+               (* the lie: the scan makes the real steady state n-1+(n-1)r *)
+               cc_amortized = Amortized { steady = Rmr 1; refills = 0 } });
+            ("poll",
+             { spin = No_spin;
+               dsm_rmrs = Unbounded;
+               cc_amortized = Amortized { steady = Rmr 1; refills = 1 } }) ] }
+end
+
+(* cc-flag, except the flag is also cleared: Signal() toggles C to 0 after
+   setting it to 1, so C is written with two distinct values — the
+   declared const-write fact below is false and the independence check
+   must reject it. *)
+module Indep_fact = struct
+  type t = { c : int Var.t }
+
+  let create ctx = { c = Var.Ctx.int ctx ~name:"C" ~home:Var.Shared 0 }
+
+  let signal t _p =
+    Program.bind (Program.write t.c 1) (fun () -> Program.write t.c 0)
+
+  let poll t _p = Program.map (fun v -> v <> 0) (Program.read t.c)
+
+  let claims ~n:_ =
+    Analysis.Claims.
+      { single_writer = [ "C" ];
+        const_writes = [ "C" (* the lie: C is written with 1 and 0 *) ];
+        calls =
+          [ ("signal",
+             { spin = No_spin;
+               dsm_rmrs = Rmr 2;
+               cc_amortized = Amortized { steady = Rmr 2; refills = 0 } });
+            ("poll",
+             { spin = No_spin;
+               dsm_rmrs = Rmr 1;
+               cc_amortized = Amortized { steady = Rmr 0; refills = 1 } }) ] }
 end
 
 let unit_call label pids program =
@@ -70,17 +150,47 @@ let register ~n =
         ~claims:(Remote_spin_wait.claims ~n)
         [ unit_call "signal" signalers (Remote_spin_wait.signal t);
           unit_call "wait" waiters (Remote_spin_wait.wait t) ]));
+  (let ctx = Var.Ctx.create () in
+   let t = Cas_flag.create ctx in
+   let layout = Var.Ctx.freeze ctx in
+   Analysis.Registry.register
+     (Analysis.Registry.entry ~mutant:true ~name:cas_flag_name ~n ~layout
+        ~primitives:Cas_flag.primitives ~claims:(Cas_flag.claims ~n)
+        [ unit_call "signal" signalers (Cas_flag.signal t);
+          { Analysis.Registry.label = "poll";
+            pids = waiters;
+            program =
+              (fun p ->
+                Smr.Program.map
+                  (fun b -> if b then 1 else 0)
+                  (Cas_flag.poll t p)) } ]));
+  (let ctx = Var.Ctx.create () in
+   let t = Amortized_scan.create ctx ~n in
+   let layout = Var.Ctx.freeze ctx in
+   Analysis.Registry.register
+     (Analysis.Registry.entry ~mutant:true ~name:amortized_scan_name ~n ~layout
+        ~primitives:[ Op.Reads_writes ]
+        ~claims:(Amortized_scan.claims ~n)
+        [ unit_call "signal" signalers (Amortized_scan.signal t);
+          { Analysis.Registry.label = "poll";
+            pids = waiters;
+            program =
+              (fun p ->
+                Smr.Program.map
+                  (fun b -> if b then 1 else 0)
+                  (Amortized_scan.poll t p)) } ]));
   let ctx = Var.Ctx.create () in
-  let t = Cas_flag.create ctx in
+  let t = Indep_fact.create ctx in
   let layout = Var.Ctx.freeze ctx in
   Analysis.Registry.register
-    (Analysis.Registry.entry ~mutant:true ~name:cas_flag_name ~n ~layout
-       ~primitives:Cas_flag.primitives ~claims:(Cas_flag.claims ~n)
-       [ unit_call "signal" signalers (Cas_flag.signal t);
+    (Analysis.Registry.entry ~mutant:true ~name:indep_fact_name ~n ~layout
+       ~primitives:[ Op.Reads_writes ]
+       ~claims:(Indep_fact.claims ~n)
+       [ unit_call "signal" signalers (Indep_fact.signal t);
          { Analysis.Registry.label = "poll";
            pids = waiters;
            program =
              (fun p ->
                Smr.Program.map
                  (fun b -> if b then 1 else 0)
-                 (Cas_flag.poll t p)) } ])
+                 (Indep_fact.poll t p)) } ])

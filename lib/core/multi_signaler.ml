@@ -53,9 +53,10 @@ end
    the election TAS and, for losers, a busy-wait on the shared completion
    flag — remote spinning by design (Specification 4.1 forbids returning
    before the signal is observable). *)
-let claims ~inner ~n:_ =
+let claims ~inner ~n =
   Analysis.Claims.
     { single_writer = inner.Analysis.Claims.single_writer;
+      const_writes = inner.Analysis.Claims.const_writes;
       calls =
-        [ ("signal", { spin = Remote_spin; dsm_rmrs = Unbounded });
+        [ ("signal", { spin = Remote_spin; dsm_rmrs = Unbounded; cc_amortized = Amortized { steady = Unbounded; refills = n + 1 } });
           ("poll", Analysis.Claims.call inner "poll") ] }

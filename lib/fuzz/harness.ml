@@ -58,7 +58,8 @@ let profile_for cfg =
       (List.concat_map
          (function
            | Oracles.Por_vs_nopor -> [ `Script ]
-           | Oracles.Claims_vs_measured -> [ `Entry ]
+           | Oracles.Claims_vs_measured | Oracles.Amortized_vs_measured ->
+             [ `Entry ]
            | Oracles.Lean_vs_full | Oracles.Sim_vs_flat | Oracles.Cc_invariants
              ->
              [ `Programs; `Script; `Entry ])

@@ -16,6 +16,11 @@
    - claims_vs_measured: a registry entry's static claims (primitive
      classes, DSM RMR bounds, spin locality) against what a measured
      execution actually does — the dynamic half of the lint.
+   - amortized_vs_measured: the amortized-RMR abstract interpreter's
+     proven (cold, steady, refills) figures for a polling entry's
+     Signal() against the open-system workload driver's measured
+     signaler RMRs under every CC protocol — the dynamic half of the
+     amortized lint.
    - cc_invariants: cost models are pure folds over one execution, so
      responses, memory, clock and per-call step counts must not depend
      on the model; with unbounded caches LFCU never bills more than
@@ -37,16 +42,19 @@ type id =
   | Sim_vs_flat
   | Por_vs_nopor
   | Claims_vs_measured
+  | Amortized_vs_measured
   | Cc_invariants
 
 let all =
-  [ Lean_vs_full; Sim_vs_flat; Por_vs_nopor; Claims_vs_measured; Cc_invariants ]
+  [ Lean_vs_full; Sim_vs_flat; Por_vs_nopor; Claims_vs_measured;
+    Amortized_vs_measured; Cc_invariants ]
 
 let name = function
   | Lean_vs_full -> "lean-vs-full"
   | Sim_vs_flat -> "sim-vs-flat"
   | Por_vs_nopor -> "por-vs-nopor"
   | Claims_vs_measured -> "claims-vs-measured"
+  | Amortized_vs_measured -> "amortized-vs-measured"
   | Cc_invariants -> "cc-invariants"
 
 let of_name s = List.find_opt (fun o -> name o = s) all
@@ -55,8 +63,8 @@ let applies o (case : Case.t) =
   match (o, case.family) with
   | Por_vs_nopor, Case.Script _ -> true
   | Por_vs_nopor, _ -> false
-  | Claims_vs_measured, Case.Entry _ -> true
-  | Claims_vs_measured, _ -> false
+  | (Claims_vs_measured | Amortized_vs_measured), Case.Entry _ -> true
+  | (Claims_vs_measured | Amortized_vs_measured), _ -> false
   | (Lean_vs_full | Sim_vs_flat | Cc_invariants), _ -> true
 
 (* Relative cost of one evaluation, for the deterministic budget. *)
@@ -65,6 +73,7 @@ let weight = function
   | Sim_vs_flat -> 2
   | Por_vs_nopor -> 12
   | Claims_vs_measured -> 4
+  | Amortized_vs_measured -> 8
   | Cc_invariants -> 4
 
 (* {1 Cost models} *)
@@ -437,6 +446,122 @@ let claims_vs_measured (case : Case.t) =
       if !problems = [] then Agree !checks
       else Disagree (String.concat "; " (List.sort_uniq compare !problems)))
 
+(* Dynamic half of the amortized lint.  The abstract interpreter proves a
+   (cold, steady, refills) accounting for every call: total CC RMRs over N
+   calls stay within cold + N*steady plus [refills] per external-mutation
+   epoch.  Here the open-system workload driver runs the same polling
+   entry at small scale under every CC protocol, and the signaler's
+   measured RMR total must obey that identity with one epoch charged per
+   completed poll (every external write happens inside some poll; the
+   driver's crash and early-leave knobs stay at zero so completed polls
+   are exactly the external activity).  The cache is sized so the flat
+   LRU never evicts — the ideal-cache regime the static pass models. *)
+
+(* Lint is pure in the entry (the registry re-registers identically named
+   entries identically), so one static analysis serves every case that
+   draws the same entry. *)
+let lint_memo : (string, Analysis.Lint.report) Hashtbl.t = Hashtbl.create 8
+
+let lint_report (e : Analysis.Registry.entry) =
+  match Hashtbl.find_opt lint_memo e.Analysis.Registry.name with
+  | Some r -> r
+  | None ->
+    let r = Analysis.Lint.run e in
+    Hashtbl.add lint_memo e.Analysis.Registry.name r;
+    r
+
+let amortized_vs_measured (case : Case.t) =
+  match case.family with
+  | Case.Programs _ | Case.Script _ -> Skip
+  | Case.Entry { entry; repeats } -> (
+    match Analysis.Registry.find entry with
+    | None -> Skip
+    | Some e -> (
+      let find_call l =
+        List.find_opt
+          (fun (c : Analysis.Registry.call) -> c.Analysis.Registry.label = l)
+          e.Analysis.Registry.calls
+      in
+      (* Only the driver's shape fits: pid 0 signals, pids 1..k poll. *)
+      match (find_call "signal", find_call "poll") with
+      | Some signal_call, Some poll_call
+        when List.mem 0 signal_call.Analysis.Registry.pids
+             && poll_call.Analysis.Registry.pids <> []
+             && poll_call.Analysis.Registry.pids
+                = List.init
+                    (List.length poll_call.Analysis.Registry.pids)
+                    (fun i -> i + 1) -> (
+        let report = lint_report e in
+        match
+          List.find_opt
+            (fun (c : Analysis.Lint.call_report) ->
+              c.Analysis.Lint.call = "signal")
+            report.Analysis.Lint.calls
+        with
+        | Some cr when cr.Analysis.Lint.complete -> (
+          let am = cr.Analysis.Lint.amortized in
+          match (am.Analysis.Amortized.cold, am.Analysis.Amortized.steady) with
+          | Analysis.Claims.Unbounded, _ | _, Analysis.Claims.Unbounded ->
+            Skip (* nothing finite to hold the measurement against *)
+          | Analysis.Claims.Rmr cold, Analysis.Claims.Rmr steady ->
+            let refills = am.Analysis.Amortized.refills in
+            let layout = e.Analysis.Registry.layout in
+            let ways = max 1 (Var.layout_size layout) in
+            let spec =
+              { Workload.Driver.default_spec with
+                Workload.Driver.seed = case.seed + (31 * case.index);
+                waiters = List.length poll_call.Analysis.Registry.pids;
+                polls_per_waiter = max 1 repeats;
+                signals = 4;
+                signal_every = 8;
+                arrivals = Workload.Arrivals.Poisson 1.0;
+                fuel = 200_000 }
+            in
+            let inst =
+              { Workload.Driver.w_name = entry;
+                w_poll = poll_call.Analysis.Registry.program;
+                w_signal = signal_call.Analysis.Registry.program }
+            in
+            let problems = ref [] in
+            let checks = ref 0 in
+            let problem fmt =
+              Fmt.kstr (fun s -> problems := s :: !problems) fmt
+            in
+            List.iter
+              (fun protocol ->
+                let model =
+                  Flat_sim.Cc { protocol; interconnect = Cc.Bus; ways }
+                in
+                let r =
+                  Workload.Driver.run ~ll_ways:ways ~model ~layout
+                    ~n:e.Analysis.Registry.n inst spec
+                in
+                if not r.Workload.Driver.r_fuel_exhausted then begin
+                  incr checks;
+                  let bound =
+                    cold
+                    + (r.Workload.Driver.r_signals * steady)
+                    + (r.Workload.Driver.r_polls * refills)
+                  in
+                  if r.Workload.Driver.r_signaler_rmrs > bound then
+                    problem
+                      "%s [%s]: signaler measured %d CC RMRs over %d \
+                       signals and %d polls, above the proven amortized \
+                       budget %d + %d*%d + %d*%dr = %d"
+                      entry (Cc.protocol_name protocol)
+                      r.Workload.Driver.r_signaler_rmrs
+                      r.Workload.Driver.r_signals r.Workload.Driver.r_polls
+                      cold r.Workload.Driver.r_signals steady
+                      r.Workload.Driver.r_polls refills bound
+                end)
+              [ Cc.Write_through; Cc.Write_back; Cc.Write_update ];
+            if !problems <> [] then
+              Disagree (String.concat "; " (List.sort_uniq compare !problems))
+            else if !checks = 0 then Skip
+            else Agree !checks)
+        | Some _ | None -> Skip)
+      | _ -> Skip))
+
 let cc_invariants (case : Case.t) =
   let rn = Case.elaborate case in
   let run tag = drive_sim ~lean:false ~tag rn case.schedule in
@@ -527,4 +652,5 @@ let eval o case =
   | Sim_vs_flat -> sim_vs_flat case
   | Por_vs_nopor -> por_vs_nopor case
   | Claims_vs_measured -> claims_vs_measured case
+  | Amortized_vs_measured -> amortized_vs_measured case
   | Cc_invariants -> cc_invariants case

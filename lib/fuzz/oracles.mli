@@ -22,6 +22,11 @@ type id =
   | Claims_vs_measured
       (** a registry entry's static claims vs a measured execution: RMR
           bounds, spin locality, declared primitive classes *)
+  | Amortized_vs_measured
+      (** the amortized abstract interpreter's proven (cold, steady,
+          refills) figures for a polling entry's Signal() vs the workload
+          driver's measured signaler RMRs under every CC protocol, with
+          one refill epoch charged per completed poll *)
   | Cc_invariants
       (** cost models are pure folds: responses/memory/clock are
           model-independent; with unbounded caches LFCU never bills more

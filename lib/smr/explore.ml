@@ -396,7 +396,7 @@ let rec move_of (q : int) = function
   | [] -> None
   | (p, mv) :: rest -> if (p : int) = q then Some mv else move_of q rest
 
-let child_sleep ~por ~completed ms sleep explored mv =
+let child_sleep ~por ~commute ~completed ms sleep explored mv =
   if not por then Pid_set.empty
   else
     match mv with
@@ -416,7 +416,7 @@ let child_sleep ~por ~completed ms sleep explored mv =
       Pid_set.filter
         (fun q ->
           match move_of q ms with
-          | Some (M_advance inv_q) -> Op.commute inv_p inv_q
+          | Some (M_advance inv_q) -> commute inv_p inv_q
           | Some (M_begin (_, prog_q)) -> (not completed) && not (instant prog_q)
           | None -> false)
         (Pid_set.union sleep explored)
@@ -478,8 +478,8 @@ exception Stopped of Sim.t option (* [Some sim]: violation; [None]: cap hit *)
    with scheduling, and it always lies immediately after some counted
    leaf — which is what lets [check] reconcile shared-lease runs against
    the fixed-budget semantics without re-exploring completed tasks. *)
-let explore_subtree ~dedup ~por ~property ~scripts ~max_steps_per_history
-    ~budget task =
+let explore_subtree ~dedup ~por ~commute ~property ~scripts
+    ~max_steps_per_history ~budget task =
   (* State identity: (incremental hash, exact key) pairs interned to dense
      ints; the visited table and its sleep-set antichains then key on
      ints.  Both tables are task-private, so no synchronization. *)
@@ -536,7 +536,9 @@ let explore_subtree ~dedup ~por ~property ~scripts ~max_steps_per_history
                  let sim', meta', counts', mh', completed =
                    apply_move sim meta counts mh p mv
                  in
-                 let sleep' = child_sleep ~por ~completed ms sleep explored mv in
+                 let sleep' =
+                   child_sleep ~por ~commute ~completed ms sleep explored mv
+                 in
                  visit sim' meta' counts' mh' sleep' (depth + 1) ~completed;
                  Pid_set.add p explored)
                Pid_set.empty awake)
@@ -619,8 +621,8 @@ let explore_subtree ~dedup ~por ~property ~scripts ~max_steps_per_history
    [split_depth] nodes as independent tasks, in DFS order.  The expansion
    never dedups — frontier nodes must all be produced so that the task
    list, and hence the merged verdict, is a pure function of the input. *)
-let expand ~por ~property ~scripts ~n ~max_steps_per_history ~max_histories
-    ~split_depth sim0 =
+let expand ~por ~commute ~property ~scripts ~n ~max_steps_per_history
+    ~max_histories ~split_depth sim0 =
   let tasks = ref [] in
   let histories = ref 0 and truncated = ref 0 and states = ref 0 in
   let maxd = ref 0 in
@@ -665,7 +667,9 @@ let expand ~por ~property ~scripts ~n ~max_steps_per_history ~max_histories
                    let sim', meta', counts', mh', completed =
                      apply_move sim meta counts mh p mv
                    in
-                   let sleep' = child_sleep ~por ~completed ms sleep explored mv in
+                   let sleep' =
+                     child_sleep ~por ~commute ~completed ms sleep explored mv
+                   in
                    visit sim' meta' counts' mh' sleep' (depth + 1) ~completed;
                    Pid_set.add p explored
                  end)
@@ -695,9 +699,9 @@ let zero_capped_sub =
     s_capped = true }
 
 let check ?tracer ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
-    ?(dedup = true) ?(por = true) ?(lean = true) ?(jobs = 1)
-    ?(split_depth = default_split_depth) ~layout ~model ~n ~scripts ~property
-    () =
+    ?(dedup = true) ?(por = true) ?(commute = Op.commute) ?(lean = true)
+    ?(jobs = 1) ?(split_depth = default_split_depth) ~layout ~model ~n ~scripts
+    ~property () =
   (* Monotonic wall clock, not [Sys.time] (which is CPU time and so *shrinks*
      relative to elapsed time exactly when [jobs] > 1 parallelizes the search
      — or inflates, summing across domains, depending on the runtime). *)
@@ -706,8 +710,8 @@ let check ?tracer ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
   let sim0 = if lean then Sim.lean_mode sim0 else sim0 in
   let split_depth = max 0 split_depth in
   let tasks, pre_h, pre_t, pre_states, pre_maxd, stopped =
-    expand ~por ~property ~scripts ~n ~max_steps_per_history ~max_histories
-      ~split_depth sim0
+    expand ~por ~commute ~property ~scripts ~n ~max_steps_per_history
+      ~max_histories ~split_depth sim0
   in
   let finish ~histories ~truncated ~states ~dedup_hits ~por_prunes ~tasks:k
       ~max_depth ~violation ~capped =
@@ -742,8 +746,8 @@ let check ?tracer ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
   | None ->
     let k = List.length tasks in
     let run_task budget task =
-      explore_subtree ~dedup ~por ~property ~scripts ~max_steps_per_history
-        ~budget task
+      explore_subtree ~dedup ~por ~commute ~property ~scripts
+        ~max_steps_per_history ~budget task
     in
     (* Dynamic work-sharing: tasks are drained from [Parallel.map]'s shared
        atomic queue, and each draws history allowance as chunked leases

@@ -68,6 +68,7 @@ val check :
   ?max_steps_per_history:int ->
   ?dedup:bool ->
   ?por:bool ->
+  ?commute:(Op.invocation -> Op.invocation -> bool) ->
   ?lean:bool ->
   ?jobs:int ->
   ?split_depth:int ->
@@ -99,6 +100,18 @@ val check :
     unaffected; see docs/MODEL.md, "Exploration fast path".  Pass
     [~lean:false] when the property (or post-mortem use of the returned
     [violation] machine) needs {!Sim.steps} or {!Sim.replay}.
+
+    [commute] (default {!Op.commute}) is the independence relation the
+    sleep-set POR consults for advance/advance pairs.  A replacement must
+    be {e sound for the scripts being explored}: whenever it declares two
+    invocations independent, executing them in either order from any
+    reachable state must produce the same memory fingerprint and the same
+    responses (the {!Commute_check} standard).  {!Analysis.Independence}
+    computes such relations statically from the algorithm's CFGs; an
+    unsound relation silently prunes real interleavings.  Verdicts and all
+    reported counts remain byte-identical across [jobs] for any fixed
+    [commute] — the relation changes {e which} states are pruned, never
+    the determinism of the accounting.
 
     [jobs] (default 1) fans the subtree tasks out across domains via
     {!Parallel.map}; every field of the result except [stats.wall_s] is

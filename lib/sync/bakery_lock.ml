@@ -76,9 +76,10 @@ let release t p = Program.write t.number.(p) 0
    priority scans poll other processes' choosing/number cells, remote in
    DSM.  Each process alone writes its own choosing and number cells;
    release just retires the owned number cell (0 RMRs). *)
-let claims ~n:_ =
+let claims ~n =
   Analysis.Claims.
     { single_writer = [ "bakery.choosing"; "bakery.number" ];
+      const_writes = [];
       calls =
-        [ ("acquire", { spin = Remote_spin; dsm_rmrs = Unbounded });
-          ("release", { spin = No_spin; dsm_rmrs = Rmr 0 }) ] }
+        [ ("acquire", { spin = Remote_spin; dsm_rmrs = Unbounded; cc_amortized = Amortized { steady = Rmr n; refills = 2 * (n - 1) } });
+          ("release", { spin = No_spin; dsm_rmrs = Rmr 0; cc_amortized = Amortized { steady = Rmr 1; refills = 0 } }) ] }

@@ -1,6 +1,8 @@
-(* Tests for the static analyzer: CFG extraction, the four claim checks,
-   the shipped-catalog run, the seeded mutants, and the Op.commute
-   differential check. *)
+(* Tests for the static analyzer: CFG extraction, the six claim checks
+   (primitive class, spin, DSM RMRs, amortized CC RMRs, write ownership,
+   independence), the cache-lattice laws, the shipped-catalog run, the
+   seeded mutants, the explorer's static-independence hook, and the
+   Op.commute differential check. *)
 
 open Smr
 open Test_util
@@ -119,7 +121,8 @@ let test_lint_catches_false_rmr_claim () =
   let claims =
     Analysis.Claims.
       { single_writer = [];
-        calls = [ ("touch", { spin = No_spin; dsm_rmrs = Rmr 0 }) ] }
+        const_writes = [];
+        calls = [ ("touch", { spin = No_spin; dsm_rmrs = Rmr 0; cc_amortized = Amortized { steady = Unbounded; refills = 64 } }) ] }
   in
   let e =
     entry_of ~claims ~layout
@@ -137,7 +140,8 @@ let test_lint_catches_false_spin_claim () =
   let claims =
     Analysis.Claims.
       { single_writer = [];
-        calls = [ ("wait", { spin = Local_spin; dsm_rmrs = Unbounded }) ] }
+        const_writes = [];
+        calls = [ ("wait", { spin = Local_spin; dsm_rmrs = Unbounded; cc_amortized = Amortized { steady = Unbounded; refills = 64 } }) ] }
   in
   let e =
     entry_of ~claims ~layout
@@ -158,7 +162,8 @@ let test_lint_catches_false_ownership_claim () =
   let claims =
     Analysis.Claims.
       { single_writer = [ "S" ];
-        calls = [ ("touch", { spin = No_spin; dsm_rmrs = Rmr 1 }) ] }
+        const_writes = [];
+        calls = [ ("touch", { spin = No_spin; dsm_rmrs = Rmr 1; cc_amortized = Amortized { steady = Unbounded; refills = 64 } }) ] }
   in
   let e =
     entry_of ~claims ~layout
@@ -196,7 +201,7 @@ let test_catalog_mutants_fail_exactly () =
         else Some (r.Analysis.Lint.entry.name, Analysis.Lint.violations r))
       reports
   in
-  check_int "exactly the two seeded mutants fail" 2 (List.length failing);
+  check_int "exactly the four seeded mutants fail" 4 (List.length failing);
   let violations_of name =
     match List.assoc_opt name failing with
     | Some vs -> String.concat "; " vs
@@ -205,7 +210,238 @@ let test_catalog_mutants_fail_exactly () =
   check_true "remote-spin mutant flagged by the local-spin check"
     (contains (violations_of Core.Lint_mutants.remote_spin_name) "local-spin");
   check_true "cas mutant flagged by the primitive-class check"
-    (contains (violations_of Core.Lint_mutants.cas_flag_name) "primitive-class")
+    (contains (violations_of Core.Lint_mutants.cas_flag_name) "primitive-class");
+  check_true "hidden-scan mutant flagged by the amortized check"
+    (contains
+       (violations_of Core.Lint_mutants.amortized_scan_name)
+       "amortized");
+  check_true "false const-write mutant flagged by the independence check"
+    (contains
+       (violations_of Core.Lint_mutants.indep_fact_name)
+       "independence")
+
+(* --- the amortized cache lattice --- *)
+
+let avails = Analysis.Absdomain.[ Owned; Valid; Invalid ]
+
+let test_absdomain_lattice_laws () =
+  let open Analysis.Absdomain in
+  List.iter
+    (fun a ->
+      check_true "join idempotent" (join_avail a a = a);
+      check_true "leq reflexive" (avail_leq a a);
+      List.iter
+        (fun b ->
+          check_true "join commutative" (join_avail a b = join_avail b a);
+          check_true "join is an upper bound"
+            (avail_leq a (join_avail a b) && avail_leq b (join_avail a b)))
+        avails)
+    avails;
+  (* transfer is monotone in the state argument: a better-cached entry
+     state never costs more and never leaves a worse cache — checked over
+     every regime, external classification, op shape and two-cell state
+     pair (the property the steady-state fixpoint iteration relies on) *)
+  let invs =
+    [ Op.Read 0; Op.Write (0, 1); Op.Cas (0, 0, 1); Op.Ll 0; Op.Sc (0, 1);
+      Op.Faa (0, 1); Op.Fas (0, 1); Op.Tas 0; Op.Read 1 ]
+  in
+  let states =
+    List.concat_map
+      (fun a0 -> List.map (fun a1 -> set (set top 0 a0) 1 a1) avails)
+      avails
+  in
+  List.iter
+    (fun regime ->
+      List.iter
+        (fun e ->
+          let ext _ = e in
+          List.iter
+            (fun inv ->
+              List.iter
+                (fun s1 ->
+                  List.iter
+                    (fun s2 ->
+                      if leq s1 s2 then begin
+                        let c1, p1 = transfer regime ~ext s1 inv in
+                        let c2, p2 = transfer regime ~ext s2 inv in
+                        check_true "transfer cost monotone" (c1 <= c2);
+                        check_true "transfer post-state monotone" (leq p1 p2)
+                      end)
+                    states)
+                states)
+            invs)
+        [ Ext_none; Ext_read; Ext_mut ])
+    [ Wt; Wb; Update; Any ]
+
+let amortized_of_call (r : Analysis.Lint.report) label =
+  (List.find (fun (c : Analysis.Lint.call_report) -> c.Analysis.Lint.call = label)
+     r.Analysis.Lint.calls)
+    .Analysis.Lint.amortized
+
+let catalog_reports names =
+  let reports = Core.Lint_catalog.run ~names () in
+  fun name ->
+    List.find
+      (fun (r : Analysis.Lint.report) ->
+        r.Analysis.Lint.entry.Analysis.Registry.name = name)
+      reports
+
+let test_amortized_proofs () =
+  (* The paper's CC-side headline, proven statically: cc-flag's Signal()
+     costs one RMR per call under any protocol (and its Poll() is free at
+     the fixpoint, re-billed once per external signal), while
+     dsm-broadcast's Signal() pays n cells every single call. *)
+  let report = catalog_reports [ "cc-flag"; "dsm-broadcast"; "dsm-queue" ] in
+  let s = amortized_of_call (report "cc-flag") "signal" in
+  check_true "cc-flag Signal() proves 1 steady RMR"
+    (s.Analysis.Amortized.steady = Analysis.Claims.Rmr 1);
+  check_int "cc-flag Signal() needs no refills" 0 s.Analysis.Amortized.refills;
+  check_true "cc-flag Signal() cold cost is also 1"
+    (s.Analysis.Amortized.cold = Analysis.Claims.Rmr 1);
+  let p = amortized_of_call (report "cc-flag") "poll" in
+  check_true "cc-flag Poll() free at the cache fixpoint"
+    (p.Analysis.Amortized.steady = Analysis.Claims.Rmr 0);
+  check_int "cc-flag Poll() re-billed once per external signal" 1
+    p.Analysis.Amortized.refills;
+  let b = amortized_of_call (report "dsm-broadcast") "signal" in
+  check_true "dsm-broadcast Signal() pays n RMRs every call (n = 4)"
+    (b.Analysis.Amortized.steady = Analysis.Claims.Rmr 4);
+  check_int "dsm-broadcast Signal() writes only, no refills" 0
+    b.Analysis.Amortized.refills;
+  let q = amortized_of_call (report "dsm-queue") "signal" in
+  check_true "dsm-queue Signal() has no per-call steady bound (spins)"
+    (q.Analysis.Amortized.steady = Analysis.Claims.Unbounded)
+
+let test_lint_catches_false_amortized_claim () =
+  (* A call that always reads a cell someone else mutates cannot claim a
+     zero-refill steady state. *)
+  let layout, shared, _ = tiny () in
+  let claims =
+    Analysis.Claims.
+      { single_writer = [];
+        const_writes = [];
+        calls =
+          [ ("touch",
+             { spin = No_spin;
+               dsm_rmrs = Rmr 1;
+               cc_amortized = Amortized { steady = Rmr 0; refills = 0 } });
+            ("dirty",
+             { spin = No_spin;
+               dsm_rmrs = Rmr 1;
+               cc_amortized = Amortized { steady = Rmr 1; refills = 0 } }) ] }
+  in
+  let e =
+    entry_of ~claims ~layout
+      [ { Analysis.Registry.label = "touch";
+          pids = [ 0 ];
+          program = (fun _ -> Program.read shared) };
+        { Analysis.Registry.label = "dirty";
+          pids = [ 1 ];
+          program = (fun _ -> int_prog (Program.write shared 1)) } ]
+  in
+  let r = Analysis.Lint.run e in
+  check_false "report not ok" r.Analysis.Lint.ok;
+  check_true "amortized violation named"
+    (List.exists
+       (fun v -> contains v "amortized")
+       (Analysis.Lint.violations r))
+
+(* --- static independence facts --- *)
+
+let test_independence_facts_sound () =
+  let report = catalog_reports [ "cc-flag"; "dsm-broadcast" ] in
+  List.iter
+    (fun name ->
+      let r = report name in
+      let facts = r.Analysis.Lint.facts in
+      check_true
+        (name ^ " has const-write facts")
+        (facts.Analysis.Independence.const_writes <> []);
+      check_true
+        (name ^ " facts validated over real memory")
+        (r.Analysis.Lint.indep_checked > 0);
+      check_int (name ^ " no refutations") 0
+        (List.length r.Analysis.Lint.indep_violations);
+      List.iter
+        (fun (a, v) ->
+          let w = Op.Write (a, v) in
+          check_true "const-write pair commutes under the facts"
+            (Analysis.Independence.commute facts w w);
+          check_false "Op.commute alone refuses same-cell writes"
+            (Op.commute w w);
+          (* conservativity: the extension only ever adds pairs *)
+          check_true "extension preserves Op.commute"
+            (Analysis.Independence.commute facts (Op.Read a) (Op.Read a)))
+        facts.Analysis.Independence.const_writes)
+    [ "cc-flag"; "dsm-broadcast" ]
+
+let test_explore_static_facts_prune () =
+  (* Two signalers racing Write(B, true): Op.commute calls that a
+     conflict, the const-write fact proves it independent.  The extended
+     relation must prune states without touching the verdict, at every
+     jobs level. *)
+  let n = 4 and polls = 2 in
+  let ctx = Var.Ctx.create () in
+  let cfg = Core.Signaling.config ~n ~waiters:[ 2; 3 ] ~signalers:[ 0; 1 ] in
+  let inst = Core.Signaling.instantiate (module Core.Cc_flag) ctx cfg in
+  let layout = Var.Ctx.freeze ctx in
+  let scripts =
+    List.map
+      (fun s ->
+        ( s,
+          Explore.of_list
+            [ (Core.Signaling.signal_label, inst.Core.Signaling.i_signal s) ]
+        ))
+      cfg.Core.Signaling.signalers
+    @ List.map
+        (fun w ->
+          ( w,
+            Explore.repeat ~limit:polls
+              ~until:(fun r -> r = 1)
+              (Core.Signaling.poll_label, inst.Core.Signaling.i_poll w) ))
+        cfg.Core.Signaling.waiters
+  in
+  let values = Analysis.Lint.value_domain ~n ~layout in
+  let cfg_of pid prog =
+    (pid, Analysis.Cfg.extract ~values ~exclusive:(fun _ -> false) ~pid prog)
+  in
+  let facts =
+    Analysis.Independence.of_cfgs
+      (List.map (fun s -> cfg_of s (inst.Core.Signaling.i_signal s))
+         cfg.Core.Signaling.signalers
+      @ List.map (fun w -> cfg_of w (inst.Core.Signaling.i_poll w))
+          cfg.Core.Signaling.waiters)
+  in
+  check_true "cc-flag const-write fact computed"
+    (facts.Analysis.Independence.const_writes <> []);
+  let run ?commute jobs =
+    Explore.check ?commute ~jobs ~layout ~model:(Cost_model.dsm layout) ~n
+      ~scripts ~property:Core.Signaling.polling_ok ()
+  in
+  let outline (r : Explore.result) =
+    ( r.Explore.histories, r.Explore.truncated, r.Explore.complete,
+      r.Explore.violation = None, r.Explore.stats.Explore.states,
+      r.Explore.stats.Explore.dedup_hits, r.Explore.stats.Explore.por_prunes )
+  in
+  let plain = run 1 in
+  let extended = run ~commute:(Analysis.Independence.commute facts) 1 in
+  check_true "both complete" (plain.Explore.complete && extended.Explore.complete);
+  check_true "verdict unchanged"
+    ((plain.Explore.violation = None) = (extended.Explore.violation = None));
+  check_true "no violation on cc-flag" (extended.Explore.violation = None);
+  check_true "static facts prune states"
+    (extended.Explore.stats.Explore.states
+    < plain.Explore.stats.Explore.states);
+  List.iter
+    (fun jobs ->
+      check_true
+        (Printf.sprintf "extended run identical at jobs %d" jobs)
+        (outline (run ~commute:(Analysis.Independence.commute facts) jobs)
+        = outline extended);
+      check_true
+        (Printf.sprintf "plain run identical at jobs %d" jobs)
+        (outline (run jobs) = outline plain))
+    [ 2; 4 ]
 
 (* --- the Op.commute differential check --- *)
 
@@ -255,5 +491,15 @@ let suite =
       test_lint_catches_false_ownership_claim;
     case "catalog: every shipped algorithm passes" test_catalog_all_shipped_pass;
     case "catalog: mutants fail exactly" test_catalog_mutants_fail_exactly;
+    case "absdomain: lattice laws and transfer monotonicity"
+      test_absdomain_lattice_laws;
+    case "amortized: cc-flag 1+0r, dsm-broadcast n, dsm-queue unbounded"
+      test_amortized_proofs;
+    case "lint: false amortized claim fails"
+      test_lint_catches_false_amortized_claim;
+    case "independence: facts computed, validated, conservative"
+      test_independence_facts_sound;
+    case "explore: static facts prune, verdict jobs-invariant"
+      test_explore_static_facts_prune;
     case "commute: exhaustive and sound" test_commute_exhaustive_and_sound;
     case "lint golden JSON" test_lint_golden_json ]
