@@ -690,14 +690,9 @@ let lint_cmd =
           independence relation.  Exits nonzero on any violation.")
     Term.(const run $ lint_n $ json $ mutants $ fuel $ timing $ only $ names)
 
-(* `load` runs the open-system workload driver over the flat engine: waiters
-   arrive by a seeded arrival process, poll a few times and leave (or crash),
-   while pid 0 signals on a cadence.  Stdout carries only seed-determined
-   figures — CI diffs it across runs and --jobs levels — while wall-clock
-   throughput goes to stderr and, when asked, to the --perf-out JSON. *)
-let load_cmd =
-  let arrivals_conv =
-    let parse s =
+(* Shared by `load` and `profile`. *)
+let arrivals_conv =
+  let parse s =
       let fail () =
         Error
           (`Msg
@@ -727,7 +722,44 @@ let load_cmd =
     in
     let print ppf a = Fmt.string ppf (Workload.Arrivals.spec_name a) in
     Arg.conv (parse, print)
+
+(* Build the scenario grid `load` and `profile` share: every requested k
+   times every requested algorithm, under one spec shape. *)
+let load_scenarios ~algos ~model ~ks ~seed ~polls ~signals ~signal_every
+    ~arrivals ~crash_prob ~leave_prob ~ways =
+  let algos =
+    match algos with
+    | [] ->
+      List.filter_map Core.Experiment.find_algorithm
+        [ "cc-flag"; "dsm-broadcast"; "dsm-queue" ]
+    | l -> l
   in
+  List.concat_map
+    (fun k ->
+      let spec =
+        { Workload.Driver.default_spec with
+          seed;
+          waiters = k;
+          polls_per_waiter = polls;
+          signals;
+          signal_every =
+            (if signal_every > 0 then signal_every
+             else max 1 (4 * k / max 1 signals));
+          arrivals;
+          crash_prob;
+          leave_early_prob = leave_prob }
+      in
+      List.map
+        (fun algorithm -> Core.Loadgen.scenario ~ways ~algorithm ~model spec)
+        algos)
+    ks
+
+(* `load` runs the open-system workload driver over the flat engine: waiters
+   arrive by a seeded arrival process, poll a few times and leave (or crash),
+   while pid 0 signals on a cadence.  Stdout carries only seed-determined
+   figures — CI diffs it across runs and --jobs levels — while wall-clock
+   throughput goes to stderr and, when asked, to the --perf-out JSON. *)
+let load_cmd =
   let algos =
     Arg.(
       value
@@ -821,33 +853,9 @@ let load_cmd =
   in
   let run algos model ks seed polls signals signal_every arrivals crash_prob
       leave_prob ways jobs json perf_out =
-    let algos =
-      match algos with
-      | [] ->
-        List.filter_map Core.Experiment.find_algorithm
-          [ "cc-flag"; "dsm-broadcast"; "dsm-queue" ]
-      | l -> l
-    in
     let scenarios =
-      List.concat_map
-        (fun k ->
-          let spec =
-            { Workload.Driver.default_spec with
-              seed;
-              waiters = k;
-              polls_per_waiter = polls;
-              signals;
-              signal_every =
-                (if signal_every > 0 then signal_every
-                 else max 1 (4 * k / max 1 signals));
-              arrivals;
-              crash_prob;
-              leave_early_prob = leave_prob }
-          in
-          List.map
-            (fun algorithm -> Core.Loadgen.scenario ~ways ~algorithm ~model spec)
-            algos)
-        ks
+      load_scenarios ~algos ~model ~ks ~seed ~polls ~signals ~signal_every
+        ~arrivals ~crash_prob ~leave_prob ~ways
     in
     let runs =
       Core.Parallel.map ~jobs:(max 1 jobs)
@@ -889,6 +897,179 @@ let load_cmd =
     Term.(
       const run $ algos $ model $ ks $ seed $ polls $ signals $ signal_every
       $ arrivals $ crash_prob $ leave_prob $ ways $ jobs $ json $ perf_out)
+
+(* `profile` is `load` with the counter planes armed: the same driver and
+   seed stream, plus deterministic per-cell / per-pid / per-pc RMR
+   attribution tables and an optional Chrome export of coherence traffic
+   (one lane per cell).  Stdout is a function of the flags alone, diffed
+   by CI across runs and --jobs levels. *)
+let profile_cmd =
+  let algos =
+    Arg.(
+      value
+      & opt_all algo_conv []
+      & info [ "a"; "algorithm" ] ~docv:"NAME"
+          ~doc:
+            "Signaling algorithm(s) to profile (repeatable).  Default: \
+             cc-flag, dsm-broadcast and dsm-queue.")
+  in
+  let ks =
+    Arg.(
+      value
+      & opt_all int [ 1000 ]
+      & info [ "k"; "waiters" ] ~docv:"K"
+          ~doc:"Waiters that join over the run (repeatable).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "RNG seed; the whole stdout document is a function of the \
+             scenario grid and this seed.")
+  in
+  let polls =
+    Arg.(
+      value & opt int 2
+      & info [ "polls" ] ~docv:"P" ~doc:"Poll() budget per waiter.")
+  in
+  let signals =
+    Arg.(
+      value & opt int 8
+      & info [ "signals" ] ~docv:"S" ~doc:"Signal() calls pid 0 issues.")
+  in
+  let signal_every =
+    Arg.(
+      value & opt int 0
+      & info [ "signal-every" ] ~docv:"TICKS"
+          ~doc:
+            "Ticks between signal begins; 0 (default) spreads the signals \
+             across the arrival span.")
+  in
+  let arrivals =
+    Arg.(
+      value
+      & opt arrivals_conv (Workload.Arrivals.Poisson 2.0)
+      & info [ "arrivals" ] ~docv:"SPEC"
+          ~doc:
+            "Arrival process: $(b,uniform:GAP), $(b,poisson:MEAN) or \
+             $(b,bursty:BURST,LULL).")
+  in
+  let crash_prob =
+    Arg.(
+      value & opt float 0.0
+      & info [ "crash-prob" ] ~docv:"P"
+          ~doc:"Chance a beginning Poll() crashes mid-call.")
+  in
+  let leave_prob =
+    Arg.(
+      value & opt float 0.0
+      & info [ "leave-prob" ] ~docv:"P"
+          ~doc:"Chance a waiter leaves before exhausting its poll budget.")
+  in
+  let ways =
+    Arg.(
+      value & opt int 8
+      & info [ "ways" ] ~docv:"W"
+          ~doc:"Cache lines per process under a CC model.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"J"
+          ~doc:
+            "Domains to fan the scenario grid across.  Stdout bytes are \
+             identical for every value.")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Rows kept in the ranked hot-cell and per-pid views.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the stable JSON tables on stdout.")
+  in
+  let csv =
+    Arg.(
+      value & flag
+      & info [ "csv" ] ~doc:"Emit RFC-4180 CSV tables on stdout.")
+  in
+  let chrome_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the first scenario's coherence traffic as a Chrome \
+             trace (chrome://tracing / Perfetto; one lane per cell) to \
+             $(docv).")
+  in
+  let chrome_cap =
+    Arg.(
+      value & opt int 10_000
+      & info [ "chrome-cap" ] ~docv:"N"
+          ~doc:
+            "Transactions recorded for --chrome-out; overflow is counted \
+             on stderr, not recorded.")
+  in
+  let run algos model ks seed polls signals signal_every arrivals crash_prob
+      leave_prob ways jobs top json csv chrome_out chrome_cap =
+    let scenarios =
+      load_scenarios ~algos ~model ~ks ~seed ~polls ~signals ~signal_every
+        ~arrivals ~crash_prob ~leave_prob ~ways
+    in
+    let indexed = List.mapi (fun i sc -> (i, sc)) scenarios in
+    let runs =
+      Core.Parallel.map ~jobs:(max 1 jobs)
+        (fun (i, sc) ->
+          let record_cells =
+            if i = 0 && chrome_out <> None then Some (max 0 chrome_cap)
+            else None
+          in
+          (sc, Core.Profile.run ?record_cells sc))
+        indexed
+    in
+    let tables =
+      List.concat_map (fun (sc, r) -> Core.Profile.tables ~top sc r) runs
+    in
+    if json then print_string (Core.Results.to_json_many tables)
+    else if csv then
+      List.iteri
+        (fun i t ->
+          if i > 0 then print_newline ();
+          print_string (Core.Results.to_csv t))
+        tables
+    else
+      List.iter
+        (fun t ->
+          Core.Report.print (Core.Results.to_report t);
+          print_newline ())
+        tables;
+    (match (chrome_out, runs) with
+    | Some path, (_, r) :: _ ->
+      let oc = open_out path in
+      output_string oc (Core.Profile.chrome_trace r);
+      close_out oc;
+      if r.Core.Profile.p_cells_dropped > 0 then
+        Fmt.epr "profile: chrome export capped: %d transactions dropped@."
+          r.Core.Profile.p_cells_dropped
+    | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run an open-system workload with counter planes armed and report \
+          where the RMRs land: per-cell hot-cell ranking (with the \
+          signaler's share), per-pid attribution, and per-program-counter \
+          breakdowns — the observable half of the CC/DSM separation.  \
+          Byte-deterministic for a fixed seed, at any --jobs.")
+    Term.(
+      const run $ algos $ model $ ks $ seed $ polls $ signals $ signal_every
+      $ arrivals $ crash_prob $ leave_prob $ ways $ jobs $ top $ json $ csv
+      $ chrome_out $ chrome_cap)
 
 (* `fuzz` streams seeded random cases through the differential oracle
    lattice.  Everything on stdout is a function of the flags alone — the
@@ -945,7 +1126,16 @@ let fuzz_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit the stable JSON table on stdout.")
   in
-  let run seed cases budget oracle_names mutants only json =
+  let coverage_new_only =
+    Arg.(
+      value & flag
+      & info [ "coverage-new-only" ]
+          ~doc:
+            "Evaluate the oracle lattice only on cases whose counter-plane \
+             behavior signature is new this run; duplicate buckets still \
+             count toward coverage but cost no oracle work.")
+  in
+  let run seed cases budget oracle_names mutants only json coverage_new_only =
     let oracles =
       match oracle_names with
       | [] -> Fuzz.Oracles.all
@@ -961,10 +1151,18 @@ let fuzz_cmd =
     in
     let report =
       Fuzz.Harness.run
-        { Fuzz.Harness.seed; cases; budget; oracles; mutants; only }
+        { Fuzz.Harness.seed; cases; budget; oracles; mutants; only;
+          coverage_new_only }
     in
-    if json then print_string (Core.Results.to_json report.Fuzz.Harness.table)
-    else Core.Report.print (Core.Results.to_report report.Fuzz.Harness.table);
+    if json then
+      print_string
+        (Core.Results.to_json_many
+           [ report.Fuzz.Harness.table; report.Fuzz.Harness.coverage ])
+    else begin
+      Core.Report.print (Core.Results.to_report report.Fuzz.Harness.table);
+      print_newline ();
+      Core.Report.print (Core.Results.to_report report.Fuzz.Harness.coverage)
+    end;
     (* Findings go to stderr so --json stdout stays a pure document. *)
     List.iter
       (fun f -> Fmt.epr "%a@." Fuzz.Harness.pp_finding f)
@@ -982,7 +1180,9 @@ let fuzz_cmd =
           invariants.  \
           Shrinks any disagreement to a minimal replayable case and exits \
           nonzero.")
-    Term.(const run $ seed $ cases $ budget $ oracle $ mutants $ only $ json)
+    Term.(
+      const run $ seed $ cases $ budget $ oracle $ mutants $ only $ json
+      $ coverage_new_only)
 
 let list_cmd =
   let run () =
@@ -1021,4 +1221,5 @@ let () =
        (Cmd.group
           (Cmd.info "separation" ~version:"1.0.0" ~doc)
           [ run_cmd; adversary_cmd; explore_cmd; trace_cmd; tables_cmd;
-            experiments_cmd; lint_cmd; load_cmd; fuzz_cmd; list_cmd ]))
+            experiments_cmd; lint_cmd; load_cmd; profile_cmd; fuzz_cmd;
+            list_cmd ]))

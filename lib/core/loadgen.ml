@@ -37,10 +37,13 @@ let flat_model ~ways : Scenario.model_tag -> Flat_sim.model_spec = function
     Flat_sim.Cc { protocol = Cc.Write_update; interconnect = Cc.Bus; ways }
   | `Cc (protocol, interconnect) -> Flat_sim.Cc { protocol; interconnect; ways }
 
-let run sc =
+(* Instantiate the scenario's algorithm and freeze its memory layout —
+   everything a driver run needs besides the optional observability hooks.
+   Split out of {!run} so the profiler can arm counter planes (sized from
+   the returned layout) on the same instantiation path. *)
+let prepare sc =
   let (module A : Signaling.POLLING) = sc.sc_algorithm in
-  let spec = sc.sc_spec in
-  let n = spec.Workload.Driver.waiters + 1 in
+  let n = sc.sc_spec.Workload.Driver.waiters + 1 in
   let cfg = Algorithms.config_for (module A) ~n in
   let ctx = Var.Ctx.create () in
   let inst = Signaling.instantiate (module A) ctx cfg in
@@ -50,9 +53,13 @@ let run sc =
       w_poll = inst.Signaling.i_poll;
       w_signal = inst.Signaling.i_signal }
   in
-  Workload.Driver.run ~ll_ways:sc.sc_ll_ways
+  (winst, layout, n)
+
+let run ?counters ?on_cache sc =
+  let winst, layout, n = prepare sc in
+  Workload.Driver.run ~ll_ways:sc.sc_ll_ways ?counters ?on_cache
     ~model:(flat_model ~ways:sc.sc_ways sc.sc_model)
-    ~layout ~n winst spec
+    ~layout ~n winst sc.sc_spec
 
 type timing = {
   elapsed_s : float;

@@ -20,8 +20,21 @@ val scenario :
 
 val flat_model : ways:int -> Scenario.model_tag -> Smr.Flat_sim.model_spec
 
-val run : scenario -> Workload.Driver.report
-(** Deterministic: the report is a function of the scenario alone. *)
+val prepare :
+  scenario -> Workload.Driver.instance * Smr.Var.layout * int
+(** Instantiate the scenario's algorithm: the driver instance, the frozen
+    memory layout, and the machine size ([waiters + 1]).  Deterministic;
+    {!run} is [prepare] plus {!Workload.Driver.run}.  Exposed so callers
+    that arm observability hooks (the profiler sizes counter planes from
+    the layout) share the exact instantiation path. *)
+
+val run :
+  ?counters:Obs.Counters.t ->
+  ?on_cache:Smr.Flat_sim.cache_cb ->
+  scenario ->
+  Workload.Driver.report
+(** Deterministic: the report is a function of the scenario alone.
+    [counters] / [on_cache] pass through to the driver's flat engine. *)
 
 type timing = {
   elapsed_s : float;

@@ -1,0 +1,44 @@
+(** RMR attribution over the flat path (`separation profile`).
+
+    Runs a {!Loadgen.scenario} exactly as {!Loadgen.run} does, with
+    {!Obs.Counters} planes armed — group 0 is the signaler (pid 0),
+    group 1 every waiter — and renders deterministic attribution tables:
+    hot cells (per-cell RMR / coherence-class / message counts and the
+    signaler's share), top RMR-paying pids, and per-program-counter
+    breakdowns.  Optionally records the flat engine's coherence
+    transactions for a Chrome cells-track export ({!chrome_trace}).
+
+    All table content is a function of the scenario, seed included;
+    `separation profile` output is CI-diffed byte-for-byte across runs
+    and [--jobs] levels. *)
+
+val signaler_group : int
+(** Counter-plane group 0: the signaler, pid 0. *)
+
+val waiter_group : int
+(** Counter-plane group 1: every waiter pid. *)
+
+type result = {
+  p_report : Workload.Driver.report;
+  p_counters : Obs.Counters.t;
+  p_layout : Smr.Var.layout;
+  p_cells : Obs.Sink_chrome.cell_event list;
+      (** recorded coherence transactions, in execution order *)
+  p_cells_dropped : int;  (** transactions past the recording cap *)
+}
+
+val run : ?record_cells:int -> Loadgen.scenario -> result
+(** Run the scenario with counter planes armed.  [record_cells], when
+    given, also records up to that many coherence transactions through
+    the engine's [on_cache] hook (the cap keeps a k = 10^6 run's export
+    bounded; the overflow count lands in [p_cells_dropped]). *)
+
+val chrome_trace : result -> string
+(** The recorded transactions as a Chrome trace document, one lane per
+    cell, lanes named from the layout ({!Obs.Sink_chrome.cells_to_string}). *)
+
+val tables : ?top:int -> Loadgen.scenario -> result -> Results.table list
+(** The three attribution tables — parts ["cells"], ["pids"], ["pc"] —
+    with [top] (default 10) bounding the ranked views.  The cells table's
+    [sig_rmrs] column and [signaler_rmrs] param are what the CI
+    separation gate reads. *)

@@ -1,0 +1,25 @@
+(** Behavior signatures for coverage feedback.
+
+    A signature compresses one case's flat-engine run — with
+    {!Obs.Counters} planes armed, under write-through-on-a-bus and a
+    never-evicting cache — into the set of event classes that fired, how
+    many distinct cells each touched, and each total's binary order of
+    magnitude (e.g. ["rmr:3c/b5 local:2c/b4 fetch:3c/b3 msg:b4"];
+    ["quiet"] when nothing executed).  Cases sharing a signature drove
+    the engine through the same classes of branches at the same scale,
+    which is what the harness buckets corpus coverage by — and what
+    [--coverage-new-only] keeps. *)
+
+val signature : Case.t -> string
+(** Deterministic: a function of the case alone.  Elaborates the case,
+    so the lint registry must be populated first for [Entry] cases
+    (the harness does this). *)
+
+val signature_of_counters : Obs.Counters.t -> string
+(** Render already-accumulated planes — one part per event class that
+    fired, in {!Obs.Counters.classes} order, then the message bucket;
+    ["quiet"] if every plane is zero.  {!signature} is drive-then-this. *)
+
+val bucket : int -> int
+(** [floor(log2 v) + 1] for positive [v], [0] for [0] — the
+    order-of-magnitude bucket index used in signatures. *)

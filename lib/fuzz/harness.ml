@@ -14,6 +14,7 @@ type config = {
   oracles : Oracles.id list;
   mutants : bool; (* draw Entry cases from the seeded lint mutants *)
   only : int option; (* replay exactly one case index *)
+  coverage_new_only : bool; (* oracle-check only signature-novel cases *)
 }
 
 let default_config =
@@ -22,7 +23,8 @@ let default_config =
     budget = None;
     oracles = Oracles.all;
     mutants = false;
-    only = None }
+    only = None;
+    coverage_new_only = false }
 
 type finding = {
   f_oracle : string;
@@ -34,8 +36,10 @@ type finding = {
 
 type report = {
   table : Core.Results.table;
+  coverage : Core.Results.table;
   findings : finding list;
   cases_run : int;
+  cases_skipped : int; (* duplicate-signature cases under coverage_new_only *)
   units : int;
 }
 
@@ -98,12 +102,30 @@ let run cfg =
     | None -> List.init (max 0 cfg.cases) Fun.id
   in
   let cases_run = ref 0 in
+  (* Coverage buckets: behavior signature -> (first case index, cases).
+     [order] keeps first-seen order for a deterministic table. *)
+  let buckets : (string, int * int ref) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let skipped = ref 0 in
   List.iter
     (fun index ->
       if not (exhausted ()) then begin
         let case = Gen.gen ~profile ~seed:cfg.seed ~index in
         incr cases_run;
-        List.iter
+        let signature = Coverage.signature case in
+        let novel =
+          match Hashtbl.find_opt buckets signature with
+          | Some (_, count) ->
+            incr count;
+            false
+          | None ->
+            Hashtbl.add buckets signature (index, ref 1);
+            order := signature :: !order;
+            true
+        in
+        if cfg.coverage_new_only && not novel then incr skipped
+        else
+          List.iter
           (fun o ->
             if Oracles.applies o case && not (exhausted ()) then begin
               let t = tally o in
@@ -167,9 +189,34 @@ let run cfg =
                int t.t_findings; int t.t_units ])
          tallies)
   in
+  let coverage =
+    Core.Results.make ~experiment:"fuzz" ~part:"coverage"
+      ~title:
+        (Printf.sprintf "corpus coverage: %d signature buckets over %d cases"
+           (Hashtbl.length buckets) !cases_run)
+      ~claim:
+        "counter-plane behavior signatures bucket the corpus; \
+         --coverage-new-only oracle-checks one case per bucket"
+      ~params:
+        Core.Results.
+          [ ("seed", int cfg.seed);
+            ("buckets", int (Hashtbl.length buckets));
+            ("skipped", int !skipped);
+            ("new_only", bool cfg.coverage_new_only) ]
+      ~columns:
+        Core.Results.
+          [ param "signature"; measure "first_case"; measure "cases" ]
+      (List.rev_map
+         (fun s ->
+           let first, count = Hashtbl.find buckets s in
+           Core.Results.[ text s; int first; int !count ])
+         !order)
+  in
   { table;
+    coverage;
     findings = List.rev !findings;
     cases_run = !cases_run;
+    cases_skipped = !skipped;
     units = !units }
 
 let pp_finding ppf f =

@@ -15,6 +15,10 @@ type config = {
           the honest catalog — every mutant reached must surface as a
           finding *)
   only : int option;  (** replay exactly one case index *)
+  coverage_new_only : bool;
+      (** evaluate the oracle lattice only on cases whose
+          {!Coverage.signature} has not been seen yet this run; duplicate
+          buckets still count toward coverage but cost no oracle work *)
 }
 
 val default_config : config
@@ -30,8 +34,14 @@ type finding = {
 
 type report = {
   table : Core.Results.table;  (** one row per selected oracle *)
+  coverage : Core.Results.table;
+      (** part ["coverage"]: one row per signature bucket, first-seen
+          order *)
   findings : finding list;
   cases_run : int;
+  cases_skipped : int;
+      (** duplicate-signature cases not oracle-checked (0 unless
+          [coverage_new_only]) *)
   units : int;
 }
 

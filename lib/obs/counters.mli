@@ -1,0 +1,102 @@
+(** Preallocated counter planes for the flat-path engines.
+
+    The persistent simulator attributes costs through the event stream
+    ({!Trace}): every step allocates an {!Event.t}, which is fine at
+    adversary/explorer scale and fatal at the flat engine's (millions of
+    steps, k up to 10^6 processes).  A counter plane is the allocation-free
+    alternative: dense [int array]s preallocated at creation, keyed by
+    (group × cell-slot × event class), (pid × event class) and
+    (group × program-counter slot × event class), bumped in O(1) on the hot
+    path and read out — or folded into a {!Metrics} registry — after the
+    run.
+
+    {b Classes.}  Six event classes cover the flat engines' observable
+    behavior: [Rmr] and [Local] partition executed steps by the billing
+    verdict; [Fetch], [Invalidate] and [Update] count cache-coherence
+    actions (a write-through round trip on a failed mutation is billed
+    under [Fetch]); [Crash] counts calls cut down mid-flight.  Coherence
+    {e messages} are accumulated separately per (group × cell), mirroring
+    the message totals {!Trace} folds into [coherence_messages_total].
+
+    {b Groups.}  A full (pid × cell) joint plane is quadratic — 10^12
+    slots at k = 10^6 — so per-cell and per-pc attribution is kept per
+    {e group}: a small caller-assigned partition of the pids (the workload
+    profiler uses group 0 = signaler, group 1 = waiters).  Per-pid counts
+    are kept exactly (linear in n).
+
+    Everything here is deterministic: the planes are pure functions of the
+    bump sequence, and readout order is the caller's. *)
+
+type t
+
+(** Event classes.  The constructor order is the storage order; {!classes}
+    lists them in it. *)
+type cls = Rmr | Local | Fetch | Invalidate | Update | Crash
+
+val classes : cls list
+
+val cls_name : cls -> string
+(** ["rmr"], ["local"], ["fetch"], ["invalidate"], ["update"], ["crash"]. *)
+
+val create : ?groups:int -> ?pc_slots:int -> n:int -> size:int -> unit -> t
+(** A zeroed plane set for [n] processes over [size] cells.  [groups]
+    (default 2) bounds the group ids {!set_group} may assign; [pc_slots]
+    (default 16) bounds the per-call step index tracked by the pc plane —
+    deeper steps land in the last slot.  Allocation happens here and never
+    again. *)
+
+val n : t -> int
+val size : t -> int
+val groups : t -> int
+val pc_slots : t -> int
+
+val set_group : t -> pid:int -> group:int -> unit
+(** Assign [pid] to [group] (default 0).  Raises [Invalid_argument] on an
+    out-of-range group.  Call before the run; bumps read the current
+    assignment. *)
+
+val group_of : t -> pid:int -> int
+
+(** {1 Hot path}
+
+    All bump operations are branch-plus-array-write: no allocation, no
+    bounds surprises ([pc] is clamped into the slot range; [pid] and
+    [addr] must be in range, as they are for every engine-issued bump). *)
+
+val bump : t -> pid:int -> addr:int -> pc:int -> cls -> unit
+(** Count one event of class [cls] by [pid] at cell [addr], at step index
+    [pc] of the current call (clamped to [pc_slots - 1]). *)
+
+val bump_messages : t -> pid:int -> addr:int -> int -> unit
+(** Accumulate coherence messages against [pid]'s group at cell [addr]. *)
+
+(** {1 Readout} *)
+
+val cell_count : t -> group:int -> addr:int -> cls -> int
+val pid_count : t -> pid:int -> cls -> int
+val pc_count : t -> group:int -> pc:int -> cls -> int
+val messages_at : t -> group:int -> addr:int -> int
+
+val cell_total : t -> addr:int -> cls -> int
+(** Sum of {!cell_count} over every group. *)
+
+val messages_total_at : t -> addr:int -> int
+
+val total : t -> cls -> int
+(** Whole-run total of a class (summed over the pid plane). *)
+
+val total_messages : t -> int
+
+val reset : t -> unit
+(** Zero every plane (group assignments survive). *)
+
+val fold_into_metrics :
+  ?model:string -> t -> Metrics.t -> unit
+(** Post-run fold into a {!Metrics} registry, emitting the rows the
+    tracing path already produces so existing sinks and reports work
+    unchanged: [rmr_total{model,pid}] and [steps_total{pid}] per active
+    pid, [cache_events_total{action}] per coherence class,
+    [coherence_messages_total{}] and [crashes_total{}] as totals.  [model]
+    (default ["flat"]) labels the rmr rows.  Only nonzero cells emit, so
+    folding a k = 10^6 run stays proportional to the pids that actually
+    stepped. *)

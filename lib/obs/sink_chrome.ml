@@ -8,12 +8,14 @@
      pid 1 "adversary"  tid 0 (decision instants)
      pid 2 "explore"    tid = task index (task spans)
      pid 3 "runner"     tid 0 (experiment spans)
+     pid 4 "cells"      tid = cell address (coherence-traffic instants)
    Metadata (ph "M") names only the tracks that actually appear. *)
 
 let pid_machine = 0
 let pid_adversary = 1
 let pid_explore = 2
 let pid_runner = 3
+let pid_cells = 4
 
 let i = string_of_int
 
@@ -162,4 +164,44 @@ let metadata events =
 let to_string ?(map = List.map) events =
   let head = metadata events in
   let body = List.filter (fun s -> s <> "") (map render events) in
+  "{\"traceEvents\":[" ^ String.concat "," (head @ body) ^ "]}\n"
+
+(* --- the cells track group ---
+
+   The flat engines have no {!Event.t} stream (that is the point of the
+   counter planes), but the profiler can still export their coherence
+   traffic: [Flat_sim]'s [on_cache] hook carries (tick, pid, addr, action,
+   messages) tuples, which render here as one instant per transaction on a
+   lane per *cell* — the transposed view of the machine track group,
+   built for eyeballing cc-flag's single hot cell against dsm-broadcast's
+   smear. *)
+
+type cell_event = {
+  ce_t : int;
+  ce_pid : int;
+  ce_addr : int;
+  ce_action : string;
+  ce_messages : int;
+}
+
+let render_cell (e : cell_event) =
+  ev_obj ~name:e.ce_action ~cat:"cell" ~ph:"i" ~pid:pid_cells ~tid:e.ce_addr
+    ~ts:e.ce_t
+    ~args:[ ("pid", i e.ce_pid); ("messages", i e.ce_messages) ]
+    ()
+
+let cells_to_string ?(cell_name = Printf.sprintf "cell %d") events =
+  let addrs =
+    List.fold_left (fun s e -> Iset.add e.ce_addr s) Iset.empty events
+  in
+  let head =
+    if Iset.is_empty addrs then []
+    else
+      meta ~pid:pid_cells ~tid:0 ~kind:"process_name" ~name:"cells"
+      :: List.map
+           (fun a ->
+             meta ~pid:pid_cells ~tid:a ~kind:"thread_name" ~name:(cell_name a))
+           (Iset.elements addrs)
+  in
+  let body = List.map render_cell events in
   "{\"traceEvents\":[" ^ String.concat "," (head @ body) ^ "]}\n"

@@ -47,6 +47,9 @@ type complete_cb =
   steps:int ->
   unit
 
+type cache_cb =
+  t:int -> pid:Op.pid -> addr:Op.addr -> action:string -> messages:int -> unit
+
 type model_spec =
   | Dsm
   | Cc of { protocol : Cc.protocol; interconnect : Cc.interconnect; ways : int }
@@ -74,6 +77,8 @@ let no_program : Op.value Program.t = Program.Return 0
 let nop_complete ~pid:_ ~label:_ ~seq:_ ~started:_ ~finished:_ ~crashed:_
     ~result:_ ~rmrs:_ ~steps:_ =
   ()
+
+let nop_cache ~t:_ ~pid:_ ~addr:_ ~action:_ ~messages:_ = ()
 
 type t = {
   n : int;
@@ -121,11 +126,23 @@ type t = {
   mutable completed_total : int;
   mutable crashed_total : int;
   on_complete : complete_cb;
+  (* --- observability (both optional; the hot path stays allocation-free
+     whether or not they are armed) --- *)
+  counters : Obs.Counters.t option;
+  on_cache : cache_cb;
 }
 
-let create ?(on_complete = nop_complete) ?(ll_ways = 4) ~model ~layout ~n () =
+let create ?(on_complete = nop_complete) ?counters ?(on_cache = nop_cache)
+    ?(ll_ways = 4) ~model ~layout ~n () =
   let size = Var.layout_size layout in
   let values = Array.init size (Var.layout_init layout) in
+  (match counters with
+  | None -> ()
+  | Some c ->
+    (* The bump path uses unchecked writes, so the planes must cover every
+       (pid, addr) this machine can issue. *)
+    if Obs.Counters.n c < n || Obs.Counters.size c < size then
+      invalid_arg "Flat_sim.create: counter planes smaller than the machine");
   let ways, cc_n, cc_bus, cc_dir_limit =
     match model with
     | Dsm -> (0, 0, false, -1)
@@ -178,12 +195,15 @@ let create ?(on_complete = nop_complete) ?(ll_ways = 4) ~model ~layout ~n () =
     total_steps = 0;
     completed_total = 0;
     crashed_total = 0;
-    on_complete }
+    on_complete;
+    counters;
+    on_cache }
 
 let n t = t.n
 let layout t = t.layout
 let clock t = t.clock
 let model_name t = model_spec_name t.spec
+let counters t = t.counters
 
 let is_idle t p = Bytes.unsafe_get t.state p = st_idle
 let is_running t p = Bytes.unsafe_get t.state p = st_running
@@ -306,6 +326,13 @@ let cc_read_like t p a =
     let messages = 1 + if dirty_elsewhere then 1 else 0 in
     t.owner.(a) <- -1;
     add_copy t p a;
+    (match t.counters with
+    | None -> ()
+    | Some c ->
+      Obs.Counters.bump c ~pid:p ~addr:a ~pc:(Array.unsafe_get t.run_steps p)
+        Obs.Counters.Fetch;
+      Obs.Counters.bump_messages c ~pid:p ~addr:a messages);
+    t.on_cache ~t:t.clock ~pid:p ~addr:a ~action:"fetch" ~messages;
     (true, messages)
   end
 
@@ -322,6 +349,15 @@ let cc_write_like t ~invalidate ~own p a =
   end;
   add_copy t p a;
   t.owner.(a) <- (if own then p else -1);
+  (match t.counters with
+  | None -> ()
+  | Some c ->
+    Obs.Counters.bump c ~pid:p ~addr:a ~pc:(Array.unsafe_get t.run_steps p)
+      (if invalidate then Obs.Counters.Invalidate else Obs.Counters.Update);
+    Obs.Counters.bump_messages c ~pid:p ~addr:a messages);
+  t.on_cache ~t:t.clock ~pid:p ~addr:a
+    ~action:(if invalidate then "invalidate" else "update")
+    ~messages;
   (true, messages)
 
 let cc_account t p inv ~wrote =
@@ -335,7 +371,13 @@ let cc_account t p inv ~wrote =
       else if wrote then cc_write_like t ~invalidate:true ~own:false p a
       else begin
         (* Failed mutating primitive: a fixed-cost global round trip whose
-           cache effect is that of a read. *)
+           cache effect is that of a read.  The round trip is one message
+           on the wire, billed before the refill's own traffic — the same
+           event order the traced [Cc] model emits. *)
+        (match t.counters with
+        | None -> ()
+        | Some c -> Obs.Counters.bump_messages c ~pid:p ~addr:a 1);
+        t.on_cache ~t:t.clock ~pid:p ~addr:a ~action:"roundtrip" ~messages:1;
         let (_ : bool * int) = cc_read_like t p a in
         (true, 1)
       end
@@ -431,6 +473,11 @@ let advance t p =
       t.ll_epoch.(a) <- t.ll_epoch.(a) + 1
     | None -> ( match inv with Op.Ll _ -> ll_record t p a | _ -> ()));
     let rmr, messages = account t p inv ~wrote:(new_value <> None) in
+    (match t.counters with
+    | None -> ()
+    | Some c ->
+      Obs.Counters.bump c ~pid:p ~addr:a ~pc:(Array.unsafe_get t.run_steps p)
+        (if rmr then Obs.Counters.Rmr else Obs.Counters.Local));
     let time = t.clock in
     if rmr then begin
       t.run_rmrs.(p) <- t.run_rmrs.(p) + 1;
@@ -460,7 +507,21 @@ let terminate t p =
 let crash t p =
   t.clock <- t.clock + 1;
   (match Bytes.get t.state p with
-  | c when c = st_running -> complete_call t p ~crashed:true 0
+  | c when c = st_running ->
+    (match t.counters with
+    | None -> ()
+    | Some cs ->
+      (* Attribute the crash to the cell the cut-down call was about to
+         touch (a running call always has a pending [Step]). *)
+      let a =
+        match t.progs.(p) with
+        | Program.Step (inv, _) -> Op.addr_of inv
+        | Program.Return _ -> 0
+      in
+      if Obs.Counters.size cs > 0 then
+        Obs.Counters.bump cs ~pid:p ~addr:a ~pc:t.run_steps.(p)
+          Obs.Counters.Crash);
+    complete_call t p ~crashed:true 0
   | _ -> ());
   Bytes.unsafe_set t.state p st_terminated
 

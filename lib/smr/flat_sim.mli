@@ -25,6 +25,14 @@ type complete_cb =
     All arguments are immediate, so a callback invocation allocates
     nothing. *)
 
+type cache_cb =
+  t:int -> pid:Op.pid -> addr:Op.addr -> action:string -> messages:int -> unit
+(** Called on every coherence transaction under a [Cc] model: [action] is
+    ["fetch"], ["invalidate"], ["update"] or ["roundtrip"] (constant
+    strings), [messages] the wire messages the transaction moved, [t] the
+    logical tick.  Mirrors the [Cache] events the traced {!Cc} model
+    emits, without the event allocation; arguments are immediate. *)
+
 type model_spec =
   | Dsm  (** static home-based billing, as {!Cost_model.dsm} *)
   | Cc of { protocol : Cc.protocol; interconnect : Cc.interconnect; ways : int }
@@ -40,6 +48,8 @@ type t
 
 val create :
   ?on_complete:complete_cb ->
+  ?counters:Obs.Counters.t ->
+  ?on_cache:cache_cb ->
   ?ll_ways:int ->
   model:model_spec ->
   layout:Var.layout ->
@@ -47,12 +57,25 @@ val create :
   unit ->
   t
 (** [ll_ways] (default 4) bounds the concurrent load-links a process may
-    hold; exceeding it raises (no catalog algorithm holds more than one). *)
+    hold; exceeding it raises (no catalog algorithm holds more than one).
+
+    [counters], when given, receives a bump per executed step ([Rmr] or
+    [Local], at the step's within-call pc), per coherence action ([Fetch] /
+    [Invalidate] / [Update], plus the transaction's messages) and per
+    mid-call crash — allocation-free, so arming counters preserves the
+    engine's zero-steady-state-allocation property.  The planes must cover
+    the machine ([Obs.Counters.n] ≥ [n], [Obs.Counters.size] ≥ the layout
+    size); raises [Invalid_argument] otherwise.  [on_cache], when given,
+    streams the same coherence transactions as calls (for trace export);
+    neither hook fires under [Dsm], which has no coherence traffic. *)
 
 val n : t -> int
 val layout : t -> Var.layout
 val clock : t -> int
 val model_name : t -> string
+
+val counters : t -> Obs.Counters.t option
+(** The counter planes this machine bumps, if any. *)
 
 val is_idle : t -> Op.pid -> bool
 val is_running : t -> Op.pid -> bool
@@ -126,4 +149,6 @@ val restore : t -> snapshot -> unit
 (** Overwrite the machine's state with the snapshot's.  The snapshot must
     come from a machine of the same shape (same [n], layout size, [ways]
     and [ll_ways]); raises [Invalid_argument] otherwise.  The
-    [on_complete] callback is untouched. *)
+    [on_complete] callback is untouched, and so are any attached
+    {!Obs.Counters} planes: counter planes are observational (a record of
+    what executed, replays included), not machine state. *)

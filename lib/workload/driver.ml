@@ -87,7 +87,7 @@ let rmrs_per_op r =
   let ops = r.r_polls + r.r_signals in
   if ops = 0 then 0.0 else float_of_int r.r_total_rmrs /. float_of_int ops
 
-let run ?ll_ways ~model ~layout ~n (inst : instance) spec =
+let run ?ll_ways ?counters ?on_cache ~model ~layout ~n (inst : instance) spec =
   if spec.waiters < 0 || n < spec.waiters + 1 then
     invalid_arg "Driver.run: need n >= waiters + 1 (pid 0 is the signaler)";
   if spec.signals < 0 || spec.polls_per_waiter < 1 then
@@ -131,7 +131,10 @@ let run ?ll_ways ~model ~layout ~n (inst : instance) spec =
       Stats.add_int poll_lat (finished - started)
     end
   in
-  let flat = Flat_sim.create ?ll_ways ~on_complete ~model ~layout ~n () in
+  let flat =
+    Flat_sim.create ?ll_ways ?counters ?on_cache ~on_complete ~model ~layout ~n
+      ()
+  in
   (* --- scheduler state --- *)
   let active = Array.make n 0 in
   let active_count = ref 0 in

@@ -1,0 +1,35 @@
+(** Streaming moments (Welford's algorithm).
+
+    The open-system driver observes millions of per-call figures (RMRs,
+    latencies) and never materializes their history: each observation
+    updates count, mean, M2, min and max in O(1), and a {!summary} is
+    snapshotted at the end.  Welford's update is numerically stable and —
+    what actually matters here — deterministic: observations arrive in a
+    seed-determined order, so the resulting floats reproduce bit-for-bit
+    on a given platform. *)
+
+type t
+
+val create : unit -> t
+(** An empty accumulator. *)
+
+val add : t -> float -> unit
+
+val add_int : t -> int -> unit
+(** [add] after [float_of_int] — the driver's tallies are ints. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** population; 0 for fewer than two observations *)
+  min : float;  (** 0 when empty *)
+  max : float;
+}
+
+val summary : t -> summary
+(** Snapshot the accumulated moments.  The accumulator is unaffected and
+    may keep absorbing observations. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** ["n=… mean=… sd=… min=… max=…"] — the fixed rendering the load tables
+    embed. *)

@@ -37,7 +37,43 @@ let fixtures =
         let _ =
           Core.Scenario.run_phased (module A) ~model:`Dsm ~cfg ~tracer:tr ()
         in
-        Obs.Sink_jsonl.to_string (Obs.Trace.events tr) ) ]
+        Obs.Sink_jsonl.to_string (Obs.Trace.events tr) );
+    (* Chrome sink edge cases, pinned by test_trace.ml: an empty stream
+       still renders a loadable document; a single event carries exactly
+       its own track metadata; simultaneous events from two pids keep
+       emission order at one tick. *)
+    ("test/golden/chrome_empty.json", fun () -> Obs.Sink_chrome.to_string []);
+    ( "test/golden/chrome_single.json",
+      fun () ->
+        Obs.Sink_chrome.to_string
+          [ Obs.Event.Op_step
+              { t = 1; pid = 0; kind = "write"; addr = 0; var = "B";
+                home = Obs.Event.Shared; response = 1; wrote = true;
+                rmr = true; messages = 1; model = "cc-wt"; call_seq = 0 } ] );
+    ( "test/golden/chrome_two_pids_same_tick.json",
+      fun () ->
+        Obs.Sink_chrome.to_string
+          [ Obs.Event.Op_step
+              { t = 3; pid = 0; kind = "write"; addr = 0; var = "B";
+                home = Obs.Event.Shared; response = 1; wrote = true;
+                rmr = true; messages = 1; model = "cc-wt"; call_seq = 0 };
+            Obs.Event.Op_step
+              { t = 3; pid = 1; kind = "read"; addr = 0; var = "B";
+                home = Obs.Event.Shared; response = 1; wrote = false;
+                rmr = false; messages = 0; model = "cc-wt"; call_seq = 2 } ] );
+    ( "test/golden/chrome_cells.json",
+      (* The flat-path cells track group: same-tick traffic from two pids
+         on two lanes, plus a lone roundtrip — the shape `separation
+         profile --chrome-out` exports. *)
+      fun () ->
+        Obs.Sink_chrome.cells_to_string
+          ~cell_name:(Printf.sprintf "B (a%d)")
+          [ { Obs.Sink_chrome.ce_t = 2; ce_pid = 0; ce_addr = 0;
+              ce_action = "invalidate"; ce_messages = 3 };
+            { Obs.Sink_chrome.ce_t = 2; ce_pid = 1; ce_addr = 1;
+              ce_action = "fetch"; ce_messages = 1 };
+            { Obs.Sink_chrome.ce_t = 5; ce_pid = 2; ce_addr = 0;
+              ce_action = "roundtrip"; ce_messages = 1 } ] ) ]
 
 let () =
   List.iter

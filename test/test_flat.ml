@@ -48,14 +48,16 @@ let collect calls ~pid ~label ~seq ~started ~finished ~crashed ~result ~rmrs
 
 type model_pair = {
   mp_name : string;
-  mp_sim : n:int -> Var.layout -> Cost_model.t;
+  mp_sim : ?tracer:Obs.Trace.t -> n:int -> Var.layout -> Cost_model.t;
   mp_flat : n:int -> Var.layout -> Flat_sim.model_spec;
 }
 
 let model_pairs =
   let cc ?capacity ~protocol ~interconnect ~ways name =
     { mp_name = name;
-      mp_sim = (fun ~n _ -> Cc.model ~protocol ~interconnect ?capacity ~n ());
+      mp_sim =
+        (fun ?tracer ~n _ ->
+          Cc.model ?tracer ~protocol ~interconnect ?capacity ~n ());
       mp_flat =
         (fun ~n:_ layout ->
           Flat_sim.Cc
@@ -67,7 +69,7 @@ let model_pairs =
                 | None -> max 1 (Var.layout_size layout)) }) }
   in
   [ { mp_name = "dsm";
-      mp_sim = (fun ~n:_ layout -> Cost_model.dsm layout);
+      mp_sim = (fun ?tracer:_ ~n:_ layout -> Cost_model.dsm layout);
       mp_flat = (fun ~n:_ _ -> Flat_sim.Dsm) };
     cc ~protocol:Cc.Write_through ~interconnect:Cc.Bus ~ways:None "cc-wt/bus";
     cc ~protocol:Cc.Write_back ~interconnect:Cc.Bus ~ways:None "cc-wb/bus";
@@ -293,8 +295,85 @@ let test_run_call_matches () =
         (Sim.total_rmrs sim) (Flat_sim.total_rmrs flat))
     model_pairs
 
+(* Counter-plane soundness: over one shared schedule, the flat engine's
+   {!Obs.Counters} totals must equal what the persistent simulator's
+   tracer folds into its metrics registry — RMRs, executed steps, crashes
+   and (for CC models) coherence messages.  Totals, not per-label rows:
+   the planes are marginal by design, and under DSM the tracer bills
+   message hops through [messages_total] while the event stream carries
+   no cache events, so the coherence totals are both zero there. *)
+let run_counters_one (module A : Signaling.POLLING) mp ~n ~seed ~crashes =
+  let cfg = Algorithms.config_for (module A) ~n in
+  let ctx = Var.Ctx.create () in
+  let inst = Signaling.instantiate (module A) ctx cfg in
+  let layout = Var.Ctx.freeze ctx in
+  let tr = Obs.Trace.create () in
+  let sim =
+    Sim.with_tracer
+      (Sim.create ~model:(mp.mp_sim ~tracer:tr ~n layout) ~layout ~n)
+      (Some tr)
+  in
+  let counters =
+    Obs.Counters.create ~n ~size:(Var.layout_size layout) ()
+  in
+  let flat_calls = ref [] in
+  let flat =
+    Flat_sim.create ~counters
+      ~on_complete:(collect flat_calls)
+      ~model:(mp.mp_flat ~n layout) ~layout ~n ()
+  in
+  let eng = { sim; flat; flat_calls } in
+  let st = ref (Int64.of_int (0xC0DE + (seed * 7919))) in
+  run_schedule ~steps:300 ~crashes st eng inst cfg;
+  let traced name = int_of_float (Obs.Metrics.total (Obs.Trace.metrics tr) name) in
+  let ctx_name = Printf.sprintf "%s/%s/seed%d" A.name mp.mp_name seed in
+  Alcotest.(check int)
+    (ctx_name ^ ": counters rmr vs traced rmr_total")
+    (traced "rmr_total")
+    (Obs.Counters.total counters Obs.Counters.Rmr);
+  Alcotest.(check int)
+    (ctx_name ^ ": counters steps vs traced steps_total")
+    (traced "steps_total")
+    (Obs.Counters.total counters Obs.Counters.Rmr
+    + Obs.Counters.total counters Obs.Counters.Local);
+  Alcotest.(check int)
+    (ctx_name ^ ": counters crashes vs traced crashes_total")
+    (traced "crashes_total")
+    (Obs.Counters.total counters Obs.Counters.Crash);
+  Alcotest.(check int)
+    (ctx_name ^ ": counters messages vs traced coherence_messages_total")
+    (traced "coherence_messages_total")
+    (Obs.Counters.total_messages counters);
+  (* The plane view and the engine's own tallies agree as well. *)
+  Alcotest.(check int)
+    (ctx_name ^ ": counters rmr vs engine total_rmrs")
+    (Flat_sim.total_rmrs flat)
+    (Obs.Counters.total counters Obs.Counters.Rmr);
+  let per_cell_rmrs =
+    List.fold_left
+      (fun acc a ->
+        acc + Obs.Counters.cell_total counters ~addr:a Obs.Counters.Rmr)
+      0 (Var.layout_addrs layout)
+  in
+  Alcotest.(check int)
+    (ctx_name ^ ": cell plane sums to the pid plane")
+    (Obs.Counters.total counters Obs.Counters.Rmr)
+    per_cell_rmrs
+
+let test_counters_match_trace () =
+  List.iter
+    (fun (module A : Signaling.POLLING) ->
+      List.iter
+        (fun mp ->
+          run_counters_one (module A) mp ~n:4 ~seed:11 ~crashes:true;
+          run_counters_one (module A) mp ~n:5 ~seed:13 ~crashes:false)
+        model_pairs)
+    Algorithms.polling_algorithms
+
 let suite =
   [ Alcotest.test_case "all algorithms x models x seeds, with crashes" `Quick
       test_all_algorithms_all_models;
     Alcotest.test_case "crash-free schedules" `Quick test_no_crash_runs;
-    Alcotest.test_case "run_call parity" `Quick test_run_call_matches ]
+    Alcotest.test_case "run_call parity" `Quick test_run_call_matches;
+    Alcotest.test_case "counter planes match the traced metrics" `Quick
+      test_counters_match_trace ]

@@ -28,4 +28,5 @@ let () =
       ("workload", Test_workload.suite);
       ("timeline", Test_timeline.suite);
       ("trace", Test_trace.suite);
+      ("profile", Test_profile.suite);
       ("fuzz", Test_fuzz.suite) ]

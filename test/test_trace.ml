@@ -85,6 +85,51 @@ let read_file path =
   close_in ic;
   s
 
+let test_chrome_edge_goldens () =
+  (* Fixtures written by gen.exe — regenerate after an intentional schema
+     change.  Edge cases: the empty stream, a single event (exactly its
+     own track metadata, no stray lanes), and two pids sharing one tick
+     (emission order preserved), for both the machine tracks and the
+     flat-path cells track group. *)
+  Alcotest.(check string) "empty stream renders a loadable document"
+    (read_file "golden/chrome_empty.json")
+    (Obs.Sink_chrome.to_string []);
+  let single =
+    [ Obs.Event.Op_step
+        { t = 1; pid = 0; kind = "write"; addr = 0; var = "B";
+          home = Obs.Event.Shared; response = 1; wrote = true; rmr = true;
+          messages = 1; model = "cc-wt"; call_seq = 0 } ]
+  in
+  Alcotest.(check string) "single event, single lane"
+    (read_file "golden/chrome_single.json")
+    (Obs.Sink_chrome.to_string single);
+  let same_tick =
+    [ Obs.Event.Op_step
+        { t = 3; pid = 0; kind = "write"; addr = 0; var = "B";
+          home = Obs.Event.Shared; response = 1; wrote = true; rmr = true;
+          messages = 1; model = "cc-wt"; call_seq = 0 };
+      Obs.Event.Op_step
+        { t = 3; pid = 1; kind = "read"; addr = 0; var = "B";
+          home = Obs.Event.Shared; response = 1; wrote = false;
+          rmr = false; messages = 0; model = "cc-wt"; call_seq = 2 } ]
+  in
+  Alcotest.(check string) "two pids at one tick keep emission order"
+    (read_file "golden/chrome_two_pids_same_tick.json")
+    (Obs.Sink_chrome.to_string same_tick);
+  Alcotest.(check string) "cells track group (flat-path export)"
+    (read_file "golden/chrome_cells.json")
+    (Obs.Sink_chrome.cells_to_string
+       ~cell_name:(Printf.sprintf "B (a%d)")
+       [ { Obs.Sink_chrome.ce_t = 2; ce_pid = 0; ce_addr = 0;
+           ce_action = "invalidate"; ce_messages = 3 };
+         { Obs.Sink_chrome.ce_t = 2; ce_pid = 1; ce_addr = 1;
+           ce_action = "fetch"; ce_messages = 1 };
+         { Obs.Sink_chrome.ce_t = 5; ce_pid = 2; ce_addr = 0;
+           ce_action = "roundtrip"; ce_messages = 1 } ]);
+  (* And the cells sink on the degenerate inputs. *)
+  check_true "empty cells document still parses as a trace doc"
+    (String.length (Obs.Sink_chrome.cells_to_string []) > 0)
+
 let test_jsonl_golden () =
   (* Must match `separation trace -a cc-flag -n 4 --format jsonl` (CI
      diffs the CLI output against the same fixture).  Regenerate with
@@ -219,6 +264,7 @@ let suite =
     case "sink rendering independent of parallel map"
       test_render_jobs_deterministic;
     case "jsonl golden fixture" test_jsonl_golden;
+    case "chrome sink edge-case goldens" test_chrome_edge_goldens;
     case "cc models emit cache events, dsm none" test_cc_emits_cache_events;
     case "call begin/end events balanced" test_call_events_balanced;
     case "adversary decisions traced, replays silent" test_adversary_traced;
