@@ -145,6 +145,19 @@ let explore_cmd =
             "Domains to fan the search across.  Every reported number is \
              byte-identical for every value.")
   in
+  let split_depth =
+    Arg.(
+      value & opt int 2
+      & info [ "split-depth" ] ~docv:"D"
+          ~doc:
+            "Tree levels to expand into independent subtree tasks before \
+             searching (default 2).  0 keeps the search monolithic: no \
+             parallelism, but one shared dedup table — states reachable \
+             along several top-level prefixes (and, under symmetry, \
+             whole permuted subtrees) merge instead of being re-explored \
+             per task, so reported states drop further.  Every reported \
+             number is byte-identical across --jobs for any fixed value.")
+  in
   let json =
     Arg.(
       value & flag
@@ -161,8 +174,34 @@ let explore_cmd =
       value & flag
       & info [ "no-por" ] ~doc:"Disable sleep-set partial-order reduction.")
   in
+  let no_symmetry =
+    Arg.(
+      value & flag
+      & info [ "no-symmetry" ]
+          ~doc:
+            "Disable symmetry reduction.  By default the waiters' poll \
+             programs are checked for literal interchangeability \
+             (identical labels and invocation/response trees, no \
+             load-links) and, when they are, dedup keys are \
+             canonicalized under waiter-pid permutation — the verdict is \
+             unchanged, states visited shrink by up to the factorial of \
+             the waiter count.")
+  in
+  let mem_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mem-budget" ] ~docv:"MIB"
+          ~doc:
+            "Cap the resident dedup tables at $(docv) MiB per subtree \
+             task; segments beyond the window spill to binary files under \
+             the system temp dir and are read back on probe misses.  \
+             Verdicts and all counts except the spill counters are \
+             byte-identical to an unbudgeted run.")
+  in
   let run (module A : Core.Signaling.POLLING) n waiters polls signalers
-      static_indep cap jobs json no_dedup no_por =
+      static_indep cap jobs split_depth json no_dedup no_por no_symmetry
+      mem_budget =
     let open Smr in
     let ctx = Var.Ctx.create () in
     let signaler_pids = List.init signalers (fun i -> i) in
@@ -216,9 +255,36 @@ let explore_cmd =
         Analysis.Independence.commute facts
       end
     in
+    (* Symmetry detection runs on the waiters' poll calls — the scripts
+       wrapping them ([Explore.repeat] with identical limit/until) branch
+       only on own-process counts and results, so script symmetry follows
+       from call symmetry; Spec 4.1 is waiter-permutation-invariant by
+       construction (it reads labels, results and interval relations,
+       never pids). *)
+    let symmetry =
+      if no_symmetry then Sim.Pid_set.empty
+      else
+        Explore.detect_symmetry
+          ~values:(Analysis.Lint.value_domain ~n ~layout)
+          (List.map
+             (fun w ->
+               (w, (Core.Signaling.poll_label, inst.Core.Signaling.i_poll w)))
+             waiter_pids)
+    in
+    let sym_k = Sim.Pid_set.cardinal symmetry in
+    if not no_symmetry then
+      if sym_k >= 2 then
+        Fmt.epr "symmetry: %d interchangeable waiter(s)@." sym_k
+      else
+        Fmt.epr
+          "symmetry: declined (waiter programs not interchangeable); running \
+           without reduction@.";
+    let mem_budget_bytes = Option.map (fun mib -> mib * 1024 * 1024) mem_budget in
     let r =
       Explore.check ~max_histories:cap ~dedup:(not no_dedup) ~por:(not no_por)
-        ~commute ~jobs ~layout ~model:(Cost_model.dsm layout) ~n ~scripts
+        ~commute ~jobs ~split_depth ~symmetry ?mem_budget:mem_budget_bytes
+        ~layout
+        ~model:(Cost_model.dsm layout) ~n ~scripts
         ~property:Core.Signaling.polling_ok
         ()
     in
@@ -236,12 +302,18 @@ let explore_cmd =
             [ ("algorithm", text A.name); ("n", int n); ("waiters", int waiters);
               ("polls", int polls); ("signalers", int signalers);
               ("cap", int cap); ("dedup", bool (not no_dedup));
-              ("por", bool (not no_por)); ("static_indep", bool static_indep) ]
+              ("por", bool (not no_por)); ("static_indep", bool static_indep);
+              ("symmetry", int sym_k); ("split_depth", int split_depth);
+              ("mem_budget_mib", int (Option.value mem_budget ~default:0)) ]
         ~columns:
           Core.Results.
             [ measure "histories"; measure "truncated"; measure "complete";
               measure "violation"; measure "states"; measure "dedup_hits";
-              measure "por_prunes"; measure "tasks"; measure "max_depth" ]
+              measure "por_prunes"; measure "tasks"; measure "max_depth";
+              measure "orbit_hits"; measure "fp_distinct";
+              measure "fp_collisions"; measure "fp_resizes";
+              measure "fp_slots"; measure "spill_segments";
+              measure "spill_reloads" ]
         Core.Results.
           [ [ int r.Explore.histories; int r.Explore.truncated;
               bool r.Explore.complete; bool (r.Explore.violation <> None);
@@ -249,21 +321,38 @@ let explore_cmd =
               int r.Explore.stats.Explore.dedup_hits;
               int r.Explore.stats.Explore.por_prunes;
               int r.Explore.stats.Explore.tasks;
-              int r.Explore.stats.Explore.max_depth ] ]
+              int r.Explore.stats.Explore.max_depth;
+              int r.Explore.stats.Explore.orbit_hits;
+              int r.Explore.stats.Explore.fp_distinct;
+              int r.Explore.stats.Explore.fp_collisions;
+              int r.Explore.stats.Explore.fp_resizes;
+              int r.Explore.stats.Explore.fp_slots;
+              int r.Explore.stats.Explore.spill_segments;
+              int r.Explore.stats.Explore.spill_reloads ] ]
     in
     Fmt.epr "search took %.2fs (%d jobs)@." r.Explore.stats.Explore.wall_s jobs;
     if json then print_string (Core.Results.to_json table)
     else begin
-      Fmt.pr "%s: %d histories%s, %s; %d states (%d dedup hits, %d POR \
-              prunes, %d tasks, max depth %d)@."
+      Fmt.pr "%s: %d histories%s, %s; %d states (%d dedup hits, %d orbit \
+              hits, %d POR prunes, %d tasks, max depth %d)@."
         A.name r.Explore.histories
         (if r.Explore.truncated > 0 then
            Printf.sprintf " (%d spin-truncated)" r.Explore.truncated
          else "")
         (if r.Explore.complete then "exhaustive" else "capped")
         r.Explore.stats.Explore.states r.Explore.stats.Explore.dedup_hits
-        r.Explore.stats.Explore.por_prunes r.Explore.stats.Explore.tasks
-        r.Explore.stats.Explore.max_depth;
+        r.Explore.stats.Explore.orbit_hits r.Explore.stats.Explore.por_prunes
+        r.Explore.stats.Explore.tasks r.Explore.stats.Explore.max_depth;
+      Fmt.pr "intern: %d distinct keys, %d collisions, %d resizes, %d \
+              slots%s@."
+        r.Explore.stats.Explore.fp_distinct
+        r.Explore.stats.Explore.fp_collisions
+        r.Explore.stats.Explore.fp_resizes r.Explore.stats.Explore.fp_slots
+        (if r.Explore.stats.Explore.spill_segments > 0 then
+           Printf.sprintf "; spilled %d segment(s), reloaded %d"
+             r.Explore.stats.Explore.spill_segments
+             r.Explore.stats.Explore.spill_reloads
+         else "");
       match r.Explore.violation with
       | None -> Fmt.pr "Specification 4.1 holds on every explored history.@."
       | Some sim ->
@@ -281,7 +370,8 @@ let explore_cmd =
           else
             match
               (Explore.check ~max_histories:cap ~dedup:(not no_dedup)
-                 ~por:(not no_por) ~commute ~lean:false ~jobs ~layout
+                 ~por:(not no_por) ~commute ~lean:false ~jobs ~split_depth
+                 ~symmetry ?mem_budget:mem_budget_bytes ~layout
                  ~model:(Cost_model.dsm layout) ~n ~scripts
                  ~property:Core.Signaling.polling_ok ())
                 .Explore.violation
@@ -299,7 +389,8 @@ let explore_cmd =
           configuration and check Specification 4.1.")
     Term.(
       const run $ algo $ n_arg $ waiters $ polls $ signalers $ static_indep
-      $ cap $ jobs $ json $ no_dedup $ no_por)
+      $ cap $ jobs $ split_depth $ json $ no_dedup $ no_por $ no_symmetry
+      $ mem_budget)
 
 let adversary_cmd =
   let rounds =

@@ -97,6 +97,13 @@ type stats = {
   por_prunes : int; (* nodes whose every enabled move was asleep *)
   tasks : int; (* parallel subtree tasks the frontier split produced *)
   max_depth : int; (* deepest step count reached on any branch *)
+  orbit_hits : int; (* dedup hits whose canonical key was relabeled *)
+  fp_distinct : int; (* distinct dedup keys interned, summed over tasks *)
+  fp_collisions : int; (* full-hash collisions among distinct keys *)
+  fp_resizes : int; (* intern-table slot doublings, summed over tasks *)
+  fp_slots : int; (* intern-table slot capacity, summed over tasks *)
+  spill_segments : int; (* segment files written under --mem-budget *)
+  spill_reloads : int; (* segments read back on a probe miss *)
   wall_s : float; (* wall-clock seconds (the only jobs-dependent field) *)
 }
 
@@ -191,8 +198,6 @@ let moves scripts (meta : pmeta array) sim =
    running call it always equals [seq + 1]. *)
 type fp = { fp_mem : Memory.t; fp_meta : pmeta array }
 
-let fingerprint sim meta : fp = { fp_mem = Sim.memory sim; fp_meta = meta }
-
 (* Exact state identity, consulted only when two states share a hash.  The
    process summaries go first: their scalar prefixes reject unequal
    control points before the memory walk runs.  All comparisons are
@@ -282,16 +287,276 @@ let slot_hash (i : int) = function
             m.resps_len)
          m.resps_h)
 
-(* Initial state hash, matching [meta0]. *)
-let mh0 n =
+(* Full slot-hash sum of a metadata array — the non-incremental form of
+   the state hash, used at the root and whenever canonicalization has
+   relabeled slots (the sum is index-salted, so a relabeled array cannot
+   reuse the incrementally maintained value). *)
+let mh_full (meta : pmeta array) =
   let h = ref 0 in
-  for i = 0 to n - 1 do
-    h := !h + slot_hash i (P_idle (0, None))
+  for i = 0 to Array.length meta - 1 do
+    h := !h + slot_hash i meta.(i)
   done;
   !h
 
+(* Initial state hash, matching [meta0]. *)
+let mh0 n = mh_full (meta0 n)
+
 let mh_swap mh (meta : pmeta array) p pm =
   mh - slot_hash p meta.(p) + slot_hash p pm
+
+(* --- symmetry reduction: orbit-canonical dedup keys --- *)
+
+(* Interchangeable processes — the signaling problem's waiters — make the
+   search factorially redundant: a state and its image under a waiter-pid
+   permutation have isomorphic futures, yet fingerprint as distinct.  The
+   reduction maps each state's {e dedup key} (never the live search state)
+   to a canonical orbit representative: sort the interchangeable slots of
+   the metadata array by a permutation-invariant total order, relabel every
+   slot's start snapshot by the resulting permutation, and recompute the
+   slot-hash sum over the canonical array.  Pruning a state because its
+   orbit was visited is sound whenever (a) the symmetric pids run literally
+   interchangeable scripts — same labels, same invocation/response trees —
+   so futures correspond under the permutation, (b) no symmetric pid
+   executes [Ll] — pids then never enter the memory fingerprint, which is
+   therefore permutation-invariant (addresses never permute; values and
+   links carry no symmetric pid) — and (c) the property is invariant under
+   the permutation, as Specification 4.1 is (it reads labels, results and
+   interval relations, never pids).  {!detect_symmetry} checks (a) and (b)
+   from the scripts; (c) is the caller's contract.
+
+   The sort key must itself be permutation-invariant, or twin states would
+   sort into different canonical forms.  Per symmetric slot it reads: the
+   control tag; for idle slots the begun count and last result; for running
+   slots the label, ordinal, responses, and a permuted {e view} of the
+   start snapshot — the pinned entries in pid order, then the slot's own
+   entry, then the multiset (sorted) of the other symmetric entries.
+   Relabeling permutes exactly the positions the view abstracts over, so
+   twins produce the same sorted key sequence.  Keys can tie while the
+   slots' cross-correlations differ; the canonical form is then
+   heapsort-order dependent — some orbit twins fail to merge, which loses
+   reduction, never soundness: the canonical array is always the image of
+   the real state under an actual permutation, so every pruned state has a
+   genuinely explored orbit representative.
+
+   Sleep sets cross the same boundary: the antichain entries recorded for
+   an orbit id live in {e canonical} pid coordinates, so the probing
+   state's sleep set is mapped through the same permutation before the
+   subset test — comparing raw sleep pids against a twin's entries would
+   prune interleavings no representative explored. *)
+
+type sym_ctx = {
+  sym_arr : int array; (* the interchangeable pids, ascending *)
+  is_sym : bool array; (* indexed by pid: membership in [sym_arr] *)
+}
+
+let sym_ctx ~n symmetry =
+  let arr =
+    Array.of_list
+      (Pid_set.elements (Pid_set.filter (fun p -> p >= 0 && p < n) symmetry))
+  in
+  if Array.length arr < 2 then None
+  else begin
+    let is_sym = Array.make n false in
+    Array.iter (fun p -> is_sym.(p) <- true) arr;
+    Some { sym_arr = arr; is_sym }
+  end
+
+let cmp_value_opt a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some x, Some y -> Int.compare x y
+
+let rec cmp_ints l1 l2 =
+  match (l1, l2) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (x : int) :: t1, y :: t2 ->
+    let c = Int.compare x y in
+    if c <> 0 then c else cmp_ints t1 t2
+
+(* Permutation-invariant comparison of two symmetric slots' start
+   snapshots: pinned entries in pid order, own entry, sorted multiset of
+   the other symmetric entries. *)
+let cmp_snap_view ctx (a : int) (b : int) (s1 : int array) (s2 : int array) =
+  let n = Array.length s1 in
+  let c = ref 0 and i = ref 0 in
+  while !c = 0 && !i < n do
+    if not ctx.is_sym.(!i) then c := Int.compare s1.(!i) s2.(!i);
+    incr i
+  done;
+  if !c <> 0 then !c
+  else
+    let c = Int.compare s1.(a) s2.(b) in
+    if c <> 0 then c
+    else
+      let others (s : int array) self =
+        let l = ref [] in
+        Array.iter (fun q -> if q <> self then l := s.(q) :: !l) ctx.sym_arr;
+        List.sort Int.compare !l
+      in
+      cmp_ints (others s1 a) (others s2 b)
+
+let cmp_slot ctx (meta : pmeta array) (a : int) (b : int) =
+  match (meta.(a), meta.(b)) with
+  | P_idle (c1, r1), P_idle (c2, r2) ->
+    let c = Int.compare c1 c2 in
+    if c <> 0 then c else cmp_value_opt r1 r2
+  | P_idle _, P_running _ -> -1
+  | P_running _, P_idle _ -> 1
+  | P_running m1, P_running m2 ->
+    let c = String.compare m1.label m2.label in
+    if c <> 0 then c
+    else
+      let c = Int.compare m1.seq m2.seq in
+      if c <> 0 then c
+      else
+        let c = Int.compare m1.resps_len m2.resps_len in
+        if c <> 0 then c
+        else
+          let c = cmp_ints m1.resps_rev m2.resps_rev in
+          if c <> 0 then c else cmp_snap_view ctx a b m1.snap m2.snap
+
+(* Image of the metadata array under [perm] (old pid -> canonical pid):
+   slot [p] moves to [perm.(p)] and every running slot's snapshot — the
+   pinned ones included — is re-indexed the same way.  Fresh arrays only;
+   the input is retained elsewhere (it is the live search state). *)
+let apply_perm (perm : int array) (meta : pmeta array) =
+  let n = Array.length meta in
+  let relabel_snap (s : int array) =
+    let s' = Array.make n 0 in
+    for q = 0 to n - 1 do
+      s'.(perm.(q)) <- s.(q)
+    done;
+    s'
+  in
+  let out = Array.make n (P_idle (0, None)) in
+  for p = 0 to n - 1 do
+    out.(perm.(p)) <-
+      (match meta.(p) with
+      | P_idle _ as pm -> pm
+      | P_running m -> P_running { m with snap = relabel_snap m.snap })
+  done;
+  out
+
+(* Canonical orbit representative of [meta]'s dedup key: [meta] itself
+   (and [None]) when the symmetric slots are already sorted — the common
+   case, kept allocation-free — else the relabeled array and the
+   permutation that produced it. *)
+let canonical ctx (meta : pmeta array) =
+  let k = Array.length ctx.sym_arr in
+  let sorted = ref true in
+  for r = 0 to k - 2 do
+    if !sorted && cmp_slot ctx meta ctx.sym_arr.(r) ctx.sym_arr.(r + 1) > 0
+    then sorted := false
+  done;
+  if !sorted then (meta, None)
+  else begin
+    let order = Array.copy ctx.sym_arr in
+    Array.sort (fun a b -> cmp_slot ctx meta a b) order;
+    let perm = Array.init (Array.length meta) Fun.id in
+    Array.iteri (fun r p -> perm.(p) <- ctx.sym_arr.(r)) order;
+    (apply_perm perm meta, Some perm)
+  end
+
+(* Script-level symmetry detection: of the candidate (pid, first-call)
+   pairs, the group of pids whose calls are literally interchangeable with
+   the first candidate's — same label and bisimilar programs over the
+   given response domain (invocations compared structurally at every node,
+   continuations followed for every value in [values]) — with [Ll]
+   refused anywhere in the tree (a load-link records its pid in the
+   memory fingerprint, breaking permutation invariance).  [fuel] bounds
+   the total nodes visited per comparison; exhausting it declines that
+   candidate (sound: detection failure only loses reduction).  The check
+   is exact for programs whose response branching is covered by [values]
+   — {!Analysis.Lint.value_domain} covers every catalog algorithm — and
+   the caller remains responsible for the property's symmetry.  Pids
+   outside the returned set (signalers, asymmetric waiters) stay pinned. *)
+let detect_symmetry ?(fuel = 4096) ~values candidates =
+  match candidates with
+  | [] | [ _ ] -> Pid_set.empty
+  | (p0, (label0, prog0)) :: rest ->
+    let nodes = ref fuel in
+    let rec bisim p q =
+      decr nodes;
+      !nodes >= 0
+      &&
+      match (p, q) with
+      | Program.Return a, Program.Return b -> Op.value_equal a b
+      | Program.Step (i1, k1), Program.Step (i2, k2) ->
+        Op.invocation_equal i1 i2
+        && (match i1 with Op.Ll _ -> false | _ -> true)
+        && List.for_all (fun v -> bisim (k1 v) (k2 v)) values
+      | Program.Return _, Program.Step _ | Program.Step _, Program.Return _
+        ->
+        false
+    in
+    let self_ok =
+      nodes := fuel;
+      bisim prog0 prog0
+    in
+    if not self_ok then Pid_set.empty
+    else
+      let same =
+        List.filter
+          (fun (_, (label, prog)) ->
+            String.equal label label0
+            &&
+            (nodes := fuel;
+             bisim prog0 prog))
+          rest
+      in
+      if same = [] then Pid_set.empty
+      else Pid_set.of_list (p0 :: List.map fst same)
+
+(* --- byte-encoded dedup keys (the spill-to-disk mode) --- *)
+
+(* Canonical byte serialization of a dedup key, faithful to [fp_equal]:
+   equal bytes iff equal fingerprints.  The metadata section comes first —
+   every variable-length field is length-prefixed, so it is uniquely
+   parseable and the memory section that follows cannot alias into it.
+   Only [fp_equal]'s fields are encoded (no [program], no [begun], no
+   derived hashes). *)
+let add_i64 buf (v : int) = Buffer.add_int64_le buf (Int64.of_int v)
+
+let encode_key buf (meta : pmeta array) mem =
+  Buffer.clear buf;
+  Array.iter
+    (fun pm ->
+      match pm with
+      | P_idle (c, r) -> (
+        Buffer.add_char buf '\000';
+        add_i64 buf c;
+        match r with
+        | None -> Buffer.add_char buf '\000'
+        | Some v ->
+          Buffer.add_char buf '\001';
+          add_i64 buf v)
+      | P_running m ->
+        Buffer.add_char buf '\002';
+        add_i64 buf (String.length m.label);
+        Buffer.add_string buf m.label;
+        add_i64 buf m.seq;
+        add_i64 buf m.resps_len;
+        List.iter (add_i64 buf) m.resps_rev;
+        Array.iter (add_i64 buf) m.snap)
+    meta;
+  Memory.blit_fingerprint mem buf;
+  Buffer.contents buf
+
+let hash_bytes (s : string) =
+  let h = ref 0x2545F491 in
+  for i = 0 to String.length s - 1 do
+    h := mix !h (Char.code (String.unsafe_get s i))
+  done;
+  !h
+
+(* Resident-footprint estimate of one antichain, for the spill store's
+   budget accounting (words, boxing and spine overheads approximated). *)
+let antichain_bytes (l : Pid_set.t list) =
+  List.fold_left (fun acc s -> acc + 48 + (24 * Pid_set.cardinal s)) 16 l
 
 (* Execute one move, maintaining the per-process metadata in lockstep with
    the machine.  Returns the new machine, the new metadata, and whether
@@ -442,6 +707,13 @@ type sub = {
   s_maxd : int;
   s_violation : Sim.t option;
   s_capped : bool;
+  s_orbit : int; (* dedup hits whose canonical key was relabeled *)
+  s_fp_distinct : int;
+  s_fp_collisions : int;
+  s_fp_resizes : int;
+  s_fp_slots : int;
+  s_spill_segments : int; (* segment files written *)
+  s_spill_reloads : int; (* segments read back on a probe miss *)
 }
 
 (* How a subtree task may count leaves.
@@ -479,11 +751,25 @@ exception Stopped of Sim.t option (* [Some sim]: violation; [None]: cap hit *)
    leaf — which is what lets [check] reconcile shared-lease runs against
    the fixed-budget semantics without re-exploring completed tasks. *)
 let explore_subtree ~dedup ~por ~commute ~property ~scripts
-    ~max_steps_per_history ~budget task =
+    ~max_steps_per_history ~budget ~sym ~disk task =
   (* State identity: (incremental hash, exact key) pairs interned to dense
      ints; the visited table and its sleep-set antichains then key on
-     ints.  Both tables are task-private, so no synchronization. *)
+     ints.  Both tables are task-private, so no synchronization.  With
+     [disk = Some (dir, budget_bytes, seg_keys)] the keys are byte-encoded
+     instead and both tables live in a {!Spill} store whose segments page
+     out to [dir] under the byte budget; the dedup decisions are identical
+     (the encoding is faithful to [fp_equal]), only the counters gain
+     spill telemetry. *)
   let intern : fp Fp_intern.t = Fp_intern.create ~equal:fp_equal () in
+  let store =
+    match disk with
+    | None -> None
+    | Some (dir, budget_bytes, seg_keys) ->
+      Some
+        (Spill.create ~dir ~seg_keys ~budget_bytes ~chain_zero:[]
+           ~chain_bytes:antichain_bytes ())
+  in
+  let buf = Buffer.create 256 in
   (* Sleep-set antichains, indexed directly by interned id: ids are dense
      (0, 1, 2, ...), so a growable array replaces a second hash lookup. *)
   let visited : Pid_set.t list array ref = ref (Array.make 1024 []) in
@@ -499,6 +785,7 @@ let explore_subtree ~dedup ~por ~commute ~property ~scripts
   in
   let histories = ref 0 and truncated = ref 0 and states = ref 0 in
   let dedup_hits = ref 0 and por_prunes = ref 0 and maxd = ref 0 in
+  let orbit_hits = ref 0 in
   let credits = ref 0 in (* leaves we may still count before refilling *)
   let leaf ~checked sim =
     incr histories;
@@ -553,33 +840,73 @@ let explore_subtree ~dedup ~por ~commute ~property ~scripts
           let fresh =
             (not dedup)
             ||
-            let key = fingerprint sim meta in
-            let id =
-              Fp_intern.intern intern
-                ~hash:(mix (Memory.fp_hash key.fp_mem) mh)
-                key
+            (* The dedup key — never the live search state — is mapped to
+               its orbit-canonical representative; the sleep set crosses
+               into the same canonical coordinates before it meets the
+               antichain (recorded entries live there too). *)
+            let cmeta, perm =
+              match sym with
+              | None -> (meta, None)
+              | Some ctx -> canonical ctx meta
             in
-            let entries = antichain id in
-            (* Prune iff a prior visit had a sleep set no larger (so no
-               fewer awake moves).  The remaining depth budget is
-               deliberately not compared: a revisit may arrive shallower
-               (a completed call got there in fewer spin iterations) and
-               so see a slightly deeper horizon, but comparing budgets
-               re-explores every spin state once per distinct arrival
-               depth — the dominant cost on spin-heavy searches.  When no
-               branch truncates the budget never binds and pruning is
-               exact; when one does, the run is already reported
-               incomplete. *)
-            if List.exists (fun sl -> Pid_set.subset sl sleep) entries then begin
+            let cmh = match perm with None -> mh | Some _ -> mh_full cmeta in
+            let csleep =
+              match perm with
+              | None -> sleep
+              | Some pi -> Pid_set.map (fun q -> pi.(q)) sleep
+            in
+            let mem = Sim.memory sim in
+            (* Prune iff a prior visit (of the orbit) had a sleep set no
+               larger (so no fewer awake moves).  The remaining depth
+               budget is deliberately not compared: a revisit may arrive
+               shallower (a completed call got there in fewer spin
+               iterations) and so see a slightly deeper horizon, but
+               comparing budgets re-explores every spin state once per
+               distinct arrival depth — the dominant cost on spin-heavy
+               searches.  When no branch truncates the budget never binds
+               and pruning is exact; when one does, the run is already
+               reported incomplete. *)
+            let hit =
+              match store with
+              | None ->
+                let key = { fp_mem = mem; fp_meta = cmeta } in
+                let id =
+                  Fp_intern.intern intern
+                    ~hash:(mix (Memory.fp_hash mem) cmh)
+                    key
+                in
+                let entries = antichain id in
+                if List.exists (fun sl -> Pid_set.subset sl csleep) entries
+                then true
+                else begin
+                  !visited.(id) <-
+                    csleep
+                    :: List.filter
+                         (fun sl -> not (Pid_set.subset csleep sl))
+                         entries;
+                  false
+                end
+              | Some st ->
+                let bytes = encode_key buf cmeta mem in
+                let id = Spill.intern st ~hash:(hash_bytes bytes) bytes in
+                let entries = Spill.chain st id in
+                if List.exists (fun sl -> Pid_set.subset sl csleep) entries
+                then true
+                else begin
+                  Spill.set_chain st id
+                    (csleep
+                    :: List.filter
+                         (fun sl -> not (Pid_set.subset csleep sl))
+                         entries);
+                  false
+                end
+            in
+            if hit then begin
               incr dedup_hits;
+              if perm <> None then incr orbit_hits;
               false
             end
-            else begin
-              !visited.(id) <-
-                sleep
-                :: List.filter (fun sl -> not (Pid_set.subset sleep sl)) entries;
-              true
-            end
+            else true
           in
           if fresh then descend awake)
   in
@@ -607,6 +934,27 @@ let explore_subtree ~dedup ~por ~commute ~property ~scripts
       outcome
     end
   in
+  let fp_distinct, fp_collisions, fp_resizes, fp_slots, spill_segs, spill_rl =
+    match store with
+    | None ->
+      ( Fp_intern.distinct intern,
+        Fp_intern.collisions intern,
+        Fp_intern.resizes intern,
+        Fp_intern.slots intern,
+        0,
+        0 )
+    | Some st ->
+      let r =
+        ( Spill.distinct st,
+          Spill.collisions st,
+          Spill.resizes st,
+          Spill.slots st,
+          Spill.spilled st,
+          Spill.reloads st )
+      in
+      Spill.cleanup st;
+      r
+  in
   { s_histories = !histories;
     s_truncated = !truncated;
     s_states = !states;
@@ -614,7 +962,14 @@ let explore_subtree ~dedup ~por ~commute ~property ~scripts
     s_por = !por_prunes;
     s_maxd = !maxd;
     s_violation = violation;
-    s_capped = capped }
+    s_capped = capped;
+    s_orbit = !orbit_hits;
+    s_fp_distinct = fp_distinct;
+    s_fp_collisions = fp_collisions;
+    s_fp_resizes = fp_resizes;
+    s_fp_slots = fp_slots;
+    s_spill_segments = spill_segs;
+    s_spill_reloads = spill_rl }
 
 (* Expand the first [split_depth] levels sequentially (POR-aware, property
    checked, leaves and truncations accounted) and collect the depth-
@@ -696,16 +1051,40 @@ let zero_capped_sub =
     s_por = 0;
     s_maxd = 0;
     s_violation = None;
-    s_capped = true }
+    s_capped = true;
+    s_orbit = 0;
+    s_fp_distinct = 0;
+    s_fp_collisions = 0;
+    s_fp_resizes = 0;
+    s_fp_slots = 0;
+    s_spill_segments = 0;
+    s_spill_reloads = 0 }
 
 let check ?tracer ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
     ?(dedup = true) ?(por = true) ?(commute = Op.commute) ?(lean = true)
-    ?(jobs = 1) ?(split_depth = default_split_depth) ~layout ~model ~n ~scripts
-    ~property () =
+    ?(jobs = 1) ?(split_depth = default_split_depth)
+    ?(symmetry = Pid_set.empty) ?mem_budget ?spill_dir
+    ?(spill_seg_keys = 4096) ~layout ~model ~n ~scripts ~property () =
   (* Monotonic wall clock, not [Sys.time] (which is CPU time and so *shrinks*
      relative to elapsed time exactly when [jobs] > 1 parallelizes the search
      — or inflates, summing across domains, depending on the runtime). *)
   let t0 = Obs.Clock.now_s () in
+  let sym = sym_ctx ~n symmetry in
+  let spill_base =
+    match spill_dir with
+    | Some d -> d
+    | None ->
+      Filename.concat (Filename.get_temp_dir_name ()) "separation-explore-spill"
+  in
+  let disk_for tag =
+    match mem_budget with
+    | None -> None
+    | Some b -> Some (Filename.concat spill_base tag, max 0 b, spill_seg_keys)
+  in
+  (* Per-task stores mkdir only their own leaf directory. *)
+  (match mem_budget with
+  | None -> ()
+  | Some _ -> ( try Sys.mkdir spill_base 0o700 with Sys_error _ -> ()));
   let sim0 = Sim.create ~model ~layout ~n in
   let sim0 = if lean then Sim.lean_mode sim0 else sim0 in
   let split_depth = max 0 split_depth in
@@ -713,21 +1092,32 @@ let check ?tracer ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
     expand ~por ~commute ~property ~scripts ~n ~max_steps_per_history
       ~max_histories ~split_depth sim0
   in
+  (* [wall_s] is computed in exactly one place — here — and every other
+     reading of the elapsed time (the [explore_wall_seconds] metric) is
+     derived from the stats field itself, so the two can never disagree. *)
   let finish ~histories ~truncated ~states ~dedup_hits ~por_prunes ~tasks:k
-      ~max_depth ~violation ~capped =
-    { histories;
-      truncated;
-      complete = violation = None && (not capped) && truncated = 0;
-      violation;
-      stats =
-        { states;
-          dedup_hits;
-          por_prunes;
-          tasks = k;
-          max_depth;
-          wall_s = Obs.Clock.elapsed_s ~since:t0 } }
-  in
-  let observe result =
+      ~max_depth ~orbit_hits ~fp_distinct ~fp_collisions ~fp_resizes
+      ~fp_slots ~spill_segments ~spill_reloads ~violation ~capped =
+    let result =
+      { histories;
+        truncated;
+        complete = violation = None && (not capped) && truncated = 0;
+        violation;
+        stats =
+          { states;
+            dedup_hits;
+            por_prunes;
+            tasks = k;
+            max_depth;
+            orbit_hits;
+            fp_distinct;
+            fp_collisions;
+            fp_resizes;
+            fp_slots;
+            spill_segments;
+            spill_reloads;
+            wall_s = Obs.Clock.elapsed_s ~since:t0 } }
+    in
     (match tracer with
     | None -> ()
     | Some tr ->
@@ -739,15 +1129,22 @@ let check ?tracer ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
   | Some v ->
     (* The expansion itself found a violation or hit the cap; subtree tasks
        are skipped, deterministically. *)
-    observe
-      (finish ~histories:pre_h ~truncated:pre_t ~states:pre_states
-         ~dedup_hits:0 ~por_prunes:0 ~tasks:0 ~max_depth:pre_maxd ~violation:v
-         ~capped:(v = None))
+    finish ~histories:pre_h ~truncated:pre_t ~states:pre_states ~dedup_hits:0
+      ~por_prunes:0 ~tasks:0 ~max_depth:pre_maxd ~orbit_hits:0 ~fp_distinct:0
+      ~fp_collisions:0 ~fp_resizes:0 ~fp_slots:0 ~spill_segments:0
+      ~spill_reloads:0 ~violation:v ~capped:(v = None)
   | None ->
     let k = List.length tasks in
-    let run_task budget task =
+    let indexed = List.mapi (fun i task -> (i, task)) tasks in
+    (* Spill directories are derived from the task index (plus an "f"
+       suffix for fixed-budget reconciliation re-runs, which must not
+       share files with the shared-lease attempt) — deterministic, and
+       disjoint across concurrent tasks. *)
+    let run_task ~suffix budget (i, task) =
       explore_subtree ~dedup ~por ~commute ~property ~scripts
-        ~max_steps_per_history ~budget task
+        ~max_steps_per_history ~budget ~sym
+        ~disk:(disk_for (Printf.sprintf "task%d%s" i suffix))
+        task
     in
     (* Dynamic work-sharing: tasks are drained from [Parallel.map]'s shared
        atomic queue, and each draws history allowance as chunked leases
@@ -755,7 +1152,7 @@ let check ?tracer ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
        budget while a spin-heavy sibling starves. *)
     let remaining_cap = max 0 (max_histories - pre_h) in
     let pool = Atomic.make remaining_cap in
-    let raw = Parallel.map ~jobs (run_task (B_shared pool)) tasks in
+    let raw = Parallel.map ~jobs (run_task ~suffix:"" (B_shared pool)) indexed in
     (* Reconciliation, in task order: normalize the first-come-first-served
        lease accounting back to the canonical semantics "task [i] may
        count whatever of [max_histories] its predecessors left over".  A
@@ -784,11 +1181,11 @@ let check ?tracer ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
             s
           end
           else begin
-            let s' = run_task (B_fixed b) task in
+            let s' = run_task ~suffix:"f" (B_fixed b) task in
             budget_left := b - s'.s_histories;
             s'
           end)
-        tasks raw
+        indexed raw
     in
     (* Task spans are emitted *here*, after the parallel map, in task order,
        from the reconciled per-task stats — never from inside worker
@@ -814,17 +1211,26 @@ let check ?tracer ?(max_histories = 1_000_000) ?(max_steps_per_history = 500)
       List.find_map (fun s -> s.s_violation) subs (* first in task order *)
     in
     let sum f = List.fold_left (fun acc s -> acc + f s) 0 subs in
-    observe
-      (finish
-         ~histories:(pre_h + sum (fun s -> s.s_histories))
-         ~truncated:(pre_t + sum (fun s -> s.s_truncated))
-         ~states:(pre_states + sum (fun s -> s.s_states))
-         ~dedup_hits:(sum (fun s -> s.s_dedup))
-         ~por_prunes:(sum (fun s -> s.s_por))
-         ~tasks:k
-         ~max_depth:(List.fold_left (fun acc s -> max acc s.s_maxd) pre_maxd subs)
-         ~violation
-         ~capped:(List.exists (fun s -> s.s_capped) subs))
+    (* Every per-task store removed its own directory; with a budget set,
+       drop the (now empty) base directory too, best-effort. *)
+    if mem_budget <> None then (try Sys.rmdir spill_base with Sys_error _ -> ());
+    finish
+      ~histories:(pre_h + sum (fun s -> s.s_histories))
+      ~truncated:(pre_t + sum (fun s -> s.s_truncated))
+      ~states:(pre_states + sum (fun s -> s.s_states))
+      ~dedup_hits:(sum (fun s -> s.s_dedup))
+      ~por_prunes:(sum (fun s -> s.s_por))
+      ~tasks:k
+      ~max_depth:(List.fold_left (fun acc s -> max acc s.s_maxd) pre_maxd subs)
+      ~orbit_hits:(sum (fun s -> s.s_orbit))
+      ~fp_distinct:(sum (fun s -> s.s_fp_distinct))
+      ~fp_collisions:(sum (fun s -> s.s_fp_collisions))
+      ~fp_resizes:(sum (fun s -> s.s_fp_resizes))
+      ~fp_slots:(sum (fun s -> s.s_fp_slots))
+      ~spill_segments:(sum (fun s -> s.s_spill_segments))
+      ~spill_reloads:(sum (fun s -> s.s_spill_reloads))
+      ~violation
+      ~capped:(List.exists (fun s -> s.s_capped) subs)
 
 (* Count interleavings without checking anything (sizing aid).  Dedup and
    POR are off so the count is the literal number of step-level
@@ -834,3 +1240,38 @@ let count ?max_histories ?max_steps_per_history ~layout ~model ~n ~scripts () =
      ~model ~n ~scripts
      ~property:(fun _ -> true) ())
     .histories
+
+(* Internal canonicalization machinery, re-exported under stable builders
+   so the test suite can state the canonicalization laws (idempotence,
+   invariance under relabelings, pinned slots untouched) directly against
+   the production comparator and permutation application. *)
+module Testing = struct
+  type slot = pmeta
+
+  let idle ~begun ~last : slot = P_idle (begun, last)
+
+  let running ~label ~seq ~resps_rev ~snap : slot =
+    P_running
+      { program = Program.Return 0 (* never read by key machinery *);
+        label;
+        label_h = Hashtbl.hash label;
+        seq;
+        begun = seq + 1;
+        resps_rev;
+        resps_len = List.length resps_rev;
+        resps_h = List.fold_left mix 0 (List.rev resps_rev);
+        snap = Array.copy snap }
+
+  let relabel ~perm (meta : slot array) = apply_perm perm meta
+
+  let canonicalize ~symmetry (meta : slot array) =
+    match sym_ctx ~n:(Array.length meta) symmetry with
+    | None -> (meta, false)
+    | Some ctx ->
+      let meta', perm = canonical ctx meta in
+      (meta', perm <> None)
+
+  let equal = metas_equal
+
+  let slot_equal = pmeta_equal
+end

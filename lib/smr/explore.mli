@@ -42,6 +42,26 @@ type stats = {
   por_prunes : int;  (** nodes whose every enabled move was asleep *)
   tasks : int;  (** independent subtree tasks the frontier split produced *)
   max_depth : int;  (** deepest step count reached on any branch *)
+  orbit_hits : int;
+      (** dedup hits whose canonical key required a non-identity waiter
+          relabeling — the pruning attributable to symmetry reduction
+          specifically (0 when [symmetry] is empty) *)
+  fp_distinct : int;
+      (** distinct dedup keys (orbit representatives) interned, summed
+          over subtree tasks *)
+  fp_collisions : int;
+      (** distinct keys that landed on an already-occupied full hash —
+          hash-quality diagnostic, never a soundness signal *)
+  fp_resizes : int;  (** intern-table slot doublings, summed over tasks *)
+  fp_slots : int;
+      (** intern-table slot capacity, summed over tasks; [fp_distinct /.
+          fp_slots] is the aggregate occupancy *)
+  spill_segments : int;
+      (** segment files written by the spill store ([mem_budget] runs
+          only; rewrites of reloaded dirty segments included) *)
+  spill_reloads : int;
+      (** spilled segments read back on a probe miss ([mem_budget] runs
+          only) *)
   wall_s : float;
       (** elapsed seconds on the monotonic {e wall} clock ({!Obs.Clock},
           not [Sys.time], which measures CPU time and is distorted by
@@ -62,6 +82,32 @@ type result = {
   stats : stats;
 }
 
+val detect_symmetry :
+  ?fuel:int ->
+  values:Op.value list ->
+  (Op.pid * (string * Op.value Program.t)) list ->
+  Sim.Pid_set.t
+(** The pids (of the given (pid, labeled first call) candidates) whose
+    calls are literally interchangeable with the first candidate's: same
+    label, and bisimilar program trees — invocations compared structurally
+    at every node, continuations followed for every response in [values] —
+    with [Ll] refused anywhere (a load-link records its pid in the memory
+    fingerprint, breaking permutation invariance).  Candidates are
+    typically one representative call per waiter; {!repeat}-style scripts
+    stay symmetric whenever their underlying call is, since they branch
+    only on own-process counts and results.
+
+    Detection is conservative by construction: [fuel] (default 4096)
+    bounds the nodes visited per comparison and exhaustion declines the
+    candidate, so unbounded (spinning) call bodies fall back to the empty
+    set rather than diverge.  It is {e exact} only when [values] covers
+    every response the programs can receive — pass
+    [Analysis.Lint.value_domain] (or a superset) for catalog algorithms.
+    Fewer than two matching candidates yield the empty set.  The returned
+    set is meant for {!check}'s [symmetry] argument; the {e property}'s
+    invariance under waiter permutation (true of Specification 4.1) is the
+    caller's responsibility. *)
+
 val check :
   ?tracer:Obs.Trace.t ->
   ?max_histories:int ->
@@ -72,6 +118,10 @@ val check :
   ?lean:bool ->
   ?jobs:int ->
   ?split_depth:int ->
+  ?symmetry:Sim.Pid_set.t ->
+  ?mem_budget:int ->
+  ?spill_dir:string ->
+  ?spill_seg_keys:int ->
   layout:Var.layout ->
   model:Cost_model.t ->
   n:int ->
@@ -117,11 +167,43 @@ val check :
     {!Parallel.map}; every field of the result except [stats.wall_s] is
     byte-identical for every value.
 
+    [symmetry] (default empty) names interchangeable pids: before a state
+    meets the dedup tables, its key — never the live search state — is
+    relabeled to a canonical orbit representative under permutation of
+    those pids, and its sleep set crosses into the same canonical
+    coordinates, so permuted twins merge (the factorial cut symmetry
+    reduction is named for).  {b Sound only when} the named pids run
+    literally interchangeable scripts with no [Ll] — use
+    {!detect_symmetry} — and the property is invariant under their
+    permutation, as Specification 4.1 is.  The verdict ([violation]
+    presence, [complete]) is unchanged by a sound [symmetry]; [states],
+    [dedup_hits] and [histories] legitimately shrink.  All reported
+    numbers stay byte-identical across [jobs] for any fixed [symmetry].
+
+    [mem_budget] (bytes) switches the dedup tables to byte-encoded keys in
+    a segmented, LRU-windowed {!Spill} store: segments beyond the budget
+    page out to files under [spill_dir]/task<i> (default: a
+    "separation-explore-spill" directory under the system temp dir) in
+    segments of [spill_seg_keys] (default 4096) keys, read back on probe
+    misses, and deleted when the task finishes.  The byte encoding is
+    faithful to the structural key equality, so every dedup decision —
+    and hence the verdict and every search counter ([states],
+    [dedup_hits], [orbit_hits], [histories], …) — is byte-identical to
+    an unbudgeted run; only the intern-table diagnostics
+    ([fp_collisions], [fp_resizes], [fp_slots]) change, because they now
+    describe the byte-key index, and [spill_segments]/[spill_reloads]
+    become meaningful.  Two budgeted runs differing only in the budget
+    agree on everything except those two spill counters.  Directories
+    are derived from the task index, so concurrent [check] calls must
+    use distinct [spill_dir]s.
+
     With [tracer], one {!Obs.Event.Explore_task} span per subtree task is
     emitted after the parallel phase, in task order, with synthetic ticks
     (cumulative states explored) — so the trace too is byte-identical for
     every [jobs].  Wall time goes only into the [explore_wall_seconds]
-    metric, which deterministic renderings exclude. *)
+    metric, recorded from the very [stats.wall_s] value the result
+    carries (one clock read; the two can never disagree), which
+    deterministic renderings exclude. *)
 
 val count :
   ?max_histories:int ->
@@ -134,3 +216,37 @@ val count :
   int
 (** Number of step-level interleavings, up to the cap; runs with both
     reductions off so the count is literal. *)
+
+(** Internal canonicalization machinery under stable builders, so the test
+    suite can state the canonicalization laws — idempotence, invariance
+    under waiter relabelings, pinned slots never moved — directly against
+    the production comparator and permutation application.  Not for
+    production use. *)
+module Testing : sig
+  type slot
+  (** One process's control point as the fingerprint sees it. *)
+
+  val idle : begun:int -> last:Op.value option -> slot
+
+  val running :
+    label:string ->
+    seq:int ->
+    resps_rev:Op.value list ->
+    snap:int array ->
+    slot
+  (** [snap] is the per-pid completed-call snapshot at the call's start;
+      its length must equal the slot array's. *)
+
+  val relabel : perm:int array -> slot array -> slot array
+  (** Image of the array under [perm] (old pid -> new pid), slot positions
+      and every running slot's snapshot re-indexed alike. *)
+
+  val canonicalize : symmetry:Sim.Pid_set.t -> slot array -> slot array * bool
+  (** The canonical orbit representative of the array's dedup key, and
+      whether a non-identity relabeling produced it. *)
+
+  val equal : slot array -> slot array -> bool
+  (** The fingerprint's exact metadata equality. *)
+
+  val slot_equal : slot -> slot -> bool
+end

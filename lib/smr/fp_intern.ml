@@ -29,6 +29,7 @@ type 'a t = {
                               until the first intern installs it *)
   mutable next : int; (* next id = number of distinct keys so far *)
   mutable collisions : int; (* distinct keys that shared a full hash *)
+  mutable resizes : int; (* times the slot array doubled *)
 }
 
 let rec pow2_at_least n c = if c >= n then c else pow2_at_least n (c * 2)
@@ -41,7 +42,8 @@ let create ?(size = 1024) ~equal () =
     mask = cap - 1;
     keys = [||];
     next = 0;
-    collisions = 0 }
+    collisions = 0;
+    resizes = 0 }
 
 let grow_slots t =
   let cap = 2 * (t.mask + 1) in
@@ -63,7 +65,8 @@ let grow_slots t =
     old_ids;
   t.hashes <- hashes;
   t.ids <- ids;
-  t.mask <- mask
+  t.mask <- mask;
+  t.resizes <- t.resizes + 1
 
 let intern t ~hash key =
   let mask = t.mask in
@@ -99,3 +102,7 @@ let intern t ~hash key =
 let distinct t = t.next
 
 let collisions t = t.collisions
+
+let resizes t = t.resizes
+
+let slots t = t.mask + 1

@@ -26,3 +26,11 @@ val distinct : 'a t -> int
 val collisions : 'a t -> int
 (** Number of distinct keys that landed in an already-occupied hash
     bucket — a diagnostic for hash quality, not a correctness signal. *)
+
+val resizes : 'a t -> int
+(** Times the slot array has doubled (load factor kept under 1/2); a
+    sizing diagnostic — seed [create ~size] to amortize it away. *)
+
+val slots : 'a t -> int
+(** Current slot-array capacity (a power of two).  Together with
+    {!distinct} this gives the occupancy [distinct /. slots]. *)

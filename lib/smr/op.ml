@@ -62,6 +62,24 @@ let addr_of = function
   | Faa (a, _) | Fas (a, _) | Tas a ->
     a
 
+(* Monomorphic structural equality on invocations: same constructor, same
+   operands.  Explore's symmetry detection compares per-waiter programs
+   invocation by invocation; spelling the match out keeps the comparison
+   total over future constructors (the compiler flags them) and off the
+   polymorphic-compare path. *)
+let invocation_equal a b =
+  match (a, b) with
+  | Read a1, Read a2 | Ll a1, Ll a2 | Tas a1, Tas a2 -> a1 = a2
+  | Write (a1, v1), Write (a2, v2)
+  | Sc (a1, v1), Sc (a2, v2)
+  | Faa (a1, v1), Faa (a2, v2)
+  | Fas (a1, v1), Fas (a2, v2) ->
+    a1 = a2 && v1 = v2
+  | Cas (a1, e1, u1), Cas (a2, e2, u2) -> a1 = a2 && e1 = e2 && u1 = u2
+  | ( ( Read _ | Write _ | Cas _ | Ll _ | Sc _ | Faa _ | Fas _ | Tas _ ),
+      ( Read _ | Write _ | Cas _ | Ll _ | Sc _ | Faa _ | Fas _ | Tas _ ) ) ->
+    false
+
 (* Operations that never overwrite the cell, regardless of outcome. *)
 let is_read_only = function
   | Read _ | Ll _ -> true

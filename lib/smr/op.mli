@@ -48,6 +48,11 @@ val kind_name : kind -> string
 val addr_of : invocation -> addr
 (** The cell an invocation acts on. *)
 
+val invocation_equal : invocation -> invocation -> bool
+(** Monomorphic structural equality: same constructor, same operands.
+    {!Explore.detect_symmetry} compares per-waiter programs invocation by
+    invocation through this. *)
+
 val is_read_only : invocation -> bool
 (** [true] iff the operation can never overwrite the cell ([Read], [Ll]). *)
 

@@ -209,15 +209,56 @@ let test_previously_infeasible_scope () =
 (* Everything jobs-invariant in a result: all counters plus the violation's
    recorded calls; only [stats.wall_s] may differ between runs. *)
 let comparable (r : Explore.result) =
-  ( r.Explore.histories,
-    r.Explore.truncated,
-    r.Explore.complete,
-    Option.map Sim.calls r.Explore.violation,
-    r.Explore.stats.Explore.states,
-    r.Explore.stats.Explore.dedup_hits,
-    r.Explore.stats.Explore.por_prunes,
-    r.Explore.stats.Explore.tasks,
-    r.Explore.stats.Explore.max_depth )
+  let s = r.Explore.stats in
+  ( ( r.Explore.histories,
+      r.Explore.truncated,
+      r.Explore.complete,
+      Option.map Sim.calls r.Explore.violation ),
+    ( s.Explore.states,
+      s.Explore.dedup_hits,
+      s.Explore.por_prunes,
+      s.Explore.tasks,
+      s.Explore.max_depth,
+      s.Explore.orbit_hits ),
+    ( s.Explore.fp_distinct,
+      s.Explore.fp_collisions,
+      s.Explore.fp_resizes,
+      s.Explore.fp_slots,
+      s.Explore.spill_segments,
+      s.Explore.spill_reloads ) )
+
+(* Same, minus the two spill counters — the only fields on which two
+   budgeted runs with different budgets may differ. *)
+let comparable_no_spill (r : Explore.result) =
+  let s = r.Explore.stats in
+  ( ( r.Explore.histories,
+      r.Explore.truncated,
+      r.Explore.complete,
+      Option.map Sim.calls r.Explore.violation ),
+    ( s.Explore.states,
+      s.Explore.dedup_hits,
+      s.Explore.por_prunes,
+      s.Explore.tasks,
+      s.Explore.max_depth,
+      s.Explore.orbit_hits ),
+    (s.Explore.fp_distinct, s.Explore.fp_collisions, s.Explore.fp_resizes) )
+
+(* The verdict and search counters only — what a budgeted (byte-keyed)
+   run must share with an in-memory run, whose intern-table diagnostics
+   (collisions, resizes, slots) describe a differently-hashed index. *)
+let comparable_search (r : Explore.result) =
+  let s = r.Explore.stats in
+  ( ( r.Explore.histories,
+      r.Explore.truncated,
+      r.Explore.complete,
+      Option.map Sim.calls r.Explore.violation ),
+    ( s.Explore.states,
+      s.Explore.dedup_hits,
+      s.Explore.por_prunes,
+      s.Explore.tasks,
+      s.Explore.max_depth,
+      s.Explore.orbit_hits,
+      s.Explore.fp_distinct ) )
 
 let test_jobs_deterministic () =
   let layout, scripts =
@@ -362,6 +403,278 @@ let test_fp_intern_ids () =
   check_int "ids survive resizes" id_a (Fp_intern.intern t ~hash:42 "a");
   check_int "all keys kept" 2001 (Fp_intern.distinct t)
 
+(* --- symmetry reduction --- *)
+
+(* Like [scripts_for], but also detect the interchangeable waiters the
+   way the CLI does: one representative Poll() per waiter, bisimulated
+   over the lint's response domain. *)
+let scripts_sym (module A : Signaling.POLLING) ~n ~waiters ~polls =
+  let ctx = Var.Ctx.create () in
+  let cfg = Signaling.config ~n ~waiters ~signalers:[ 0 ] in
+  let inst = Signaling.instantiate (module A) ctx cfg in
+  let layout = Var.Ctx.freeze ctx in
+  let scripts =
+    (0, Explore.of_list [ (Signaling.signal_label, inst.Signaling.i_signal 0) ])
+    :: List.map
+         (fun w ->
+           ( w,
+             Explore.repeat ~limit:polls
+               ~until:(fun r -> r = 1)
+               (Signaling.poll_label, inst.Signaling.i_poll w) ))
+         waiters
+  in
+  let symmetry =
+    Explore.detect_symmetry
+      ~values:(Analysis.Lint.value_domain ~n ~layout)
+      (List.map
+         (fun w -> (w, (Signaling.poll_label, inst.Signaling.i_poll w)))
+         waiters)
+  in
+  (layout, scripts, symmetry)
+
+let test_detect_symmetry () =
+  (* cc-flag waiters all read the one shared flag: interchangeable. *)
+  let _, _, sym = scripts_sym (module Cc_flag) ~n:3 ~waiters:[ 1; 2 ] ~polls:2 in
+  check_int "both cc-flag waiters detected" 2 (Sim.Pid_set.cardinal sym);
+  check_true "pid 1 in the set" (Sim.Pid_set.mem 1 sym);
+  check_true "pid 2 in the set" (Sim.Pid_set.mem 2 sym);
+  (* dsm-broadcast waiters each read their own per-pid flag: the poll
+     programs differ structurally (distinct addresses), so detection must
+     decline rather than prune unsoundly. *)
+  let _, _, bsym =
+    scripts_sym (module Dsm_broadcast) ~n:3 ~waiters:[ 1; 2 ] ~polls:2
+  in
+  check_int "per-pid variables decline detection" 0 (Sim.Pid_set.cardinal bsym);
+  (* llsc-register polls issue Ll, which records its pid in the memory
+     fingerprint: refused outright. *)
+  let _, _, lsym =
+    scripts_sym (module Llsc_register) ~n:3 ~waiters:[ 1; 2 ] ~polls:2
+  in
+  check_int "Ll declines detection" 0 (Sim.Pid_set.cardinal lsym)
+
+let test_canonicalization_laws () =
+  let open Explore.Testing in
+  let symmetry =
+    List.fold_left
+      (fun s p -> Sim.Pid_set.add p s)
+      Sim.Pid_set.empty [ 1; 2; 3 ]
+  in
+  (* Signaler running, three waiters in pairwise-distinct control states
+     (distinct permutation-invariant sort keys, so the canonical form is
+     unique and the laws hold exactly, ties aside). *)
+  let sample =
+    [| running ~label:"Signal" ~seq:0 ~resps_rev:[ 1 ] ~snap:[| 0; 2; 1; 0 |];
+       idle ~begun:2 ~last:(Some 1);
+       running ~label:"Poll" ~seq:1 ~resps_rev:[ 0 ] ~snap:[| 1; 0; 1; 0 |];
+       idle ~begun:0 ~last:None |]
+  in
+  let canon = fst (canonicalize ~symmetry sample) in
+  (* Idempotence: the canonical form is its own representative, found by
+     the allocation-free already-sorted fast path. *)
+  let canon2, moved2 = canonicalize ~symmetry canon in
+  check_true "canonicalize is idempotent" (equal canon canon2);
+  check_false "second pass reports no relabeling" moved2;
+  (* Invariance: every relabeling of the waiters canonicalizes to the
+     same representative — the whole point of orbit reduction. *)
+  let perms =
+    [ [| 0; 1; 3; 2 |];
+      [| 0; 2; 1; 3 |];
+      [| 0; 2; 3; 1 |];
+      [| 0; 3; 1; 2 |];
+      [| 0; 3; 2; 1 |] ]
+  in
+  List.iteri
+    (fun i perm ->
+      let c = fst (canonicalize ~symmetry (relabel ~perm sample)) in
+      check_true
+        (Printf.sprintf "relabeling %d canonicalizes identically" i)
+        (equal canon c))
+    perms;
+  (* Empty symmetry: canonicalization is the identity. *)
+  let id, moved = canonicalize ~symmetry:Sim.Pid_set.empty sample in
+  check_true "empty symmetry is the identity" (equal id sample);
+  check_false "and reports no relabeling" moved
+
+let test_canonicalization_pins_asymmetric_slots () =
+  let open Explore.Testing in
+  (* All-idle slots (no snapshots), so slot content is position-free and
+     [slot_equal] across positions is meaningful.  Waiters 1 and 2 are
+     symmetric and unsorted; signaler 0 and outsider 3 must stay put. *)
+  let symmetry = Sim.Pid_set.add 1 (Sim.Pid_set.add 2 Sim.Pid_set.empty) in
+  let s0 = idle ~begun:5 ~last:(Some 1)
+  and w_hi = idle ~begun:2 ~last:(Some 0)
+  and w_lo = idle ~begun:1 ~last:None
+  and s3 = idle ~begun:7 ~last:(Some 0) in
+  let sample = [| s0; w_hi; w_lo; s3 |] in
+  let canon, moved = canonicalize ~symmetry sample in
+  check_true "a relabeling was applied" moved;
+  check_true "signaler slot never moves" (slot_equal canon.(0) s0);
+  check_true "non-symmetric waiter slot never moves" (slot_equal canon.(3) s3);
+  check_true "symmetric slots were reordered"
+    (slot_equal canon.(1) w_lo && slot_equal canon.(2) w_hi);
+  (* The flipped array is the same orbit: same canonical form. *)
+  let flipped = [| s0; w_lo; w_hi; s3 |] in
+  let canon', moved' = canonicalize ~symmetry flipped in
+  check_true "orbit twin canonicalizes identically" (equal canon canon');
+  check_false "the already-sorted twin needs no relabeling" moved'
+
+let test_symmetry_preserves_verdict () =
+  let layout, scripts, symmetry =
+    scripts_sym (module Cc_flag) ~n:4 ~waiters:[ 1; 2; 3 ] ~polls:2
+  in
+  check_int "three interchangeable waiters" 3 (Sim.Pid_set.cardinal symmetry);
+  let run symmetry =
+    Explore.check ~symmetry ~layout ~model:(Cost_model.dsm layout) ~n:4 ~scripts
+      ~property:spec_ok ()
+  in
+  let sym = run symmetry and plain = run Sim.Pid_set.empty in
+  check_no_violation "with symmetry" sym;
+  check_true "with symmetry: complete" sym.Explore.complete;
+  check_no_violation "without" plain;
+  check_true "without: complete" plain.Explore.complete;
+  check_true "orbit merging happened" (sym.Explore.stats.Explore.orbit_hits > 0);
+  check_int "no orbit hits without symmetry" 0
+    plain.Explore.stats.Explore.orbit_hits;
+  check_true
+    (Printf.sprintf "fewer states under symmetry (%d vs %d)"
+       sym.Explore.stats.Explore.states plain.Explore.stats.Explore.states)
+    (sym.Explore.stats.Explore.states < plain.Explore.stats.Explore.states);
+  check_true "fewer orbit representatives than raw states"
+    (sym.Explore.stats.Explore.fp_distinct
+    < plain.Explore.stats.Explore.fp_distinct)
+
+let test_symmetry_mutation_caught () =
+  (* The broken signaler's waiters still run identical Poll() programs, so
+     symmetry reduction applies — and must not prune the violation away,
+     at any parallelism level. *)
+  let layout, scripts, symmetry =
+    scripts_sym (module Broken_cc_flag) ~n:3 ~waiters:[ 1; 2 ] ~polls:2
+  in
+  check_int "mutant waiters interchangeable" 2 (Sim.Pid_set.cardinal symmetry);
+  let violating_calls jobs =
+    let r =
+      Explore.check ~jobs ~symmetry ~layout ~model:(Cost_model.dsm layout) ~n:3
+        ~scripts ~property:spec_ok ()
+    in
+    match r.Explore.violation with
+    | None -> Alcotest.failf "jobs=%d: mutation not caught under symmetry" jobs
+    | Some sim -> Sim.calls sim
+  in
+  let c1 = violating_calls 1 in
+  check_true "violating history non-empty" (c1 <> []);
+  check_true "jobs=2 agrees" (violating_calls 2 = c1);
+  check_true "jobs=4 agrees" (violating_calls 4 = c1)
+
+let test_symmetry_jobs_deterministic () =
+  let layout, scripts, symmetry =
+    scripts_sym (module Cc_flag) ~n:5 ~waiters:[ 1; 2; 3; 4 ] ~polls:2
+  in
+  check_int "four interchangeable waiters" 4 (Sim.Pid_set.cardinal symmetry);
+  let run jobs =
+    Explore.check ~jobs ~symmetry ~layout ~model:(Cost_model.dsm layout) ~n:5
+      ~scripts ~property:spec_ok ()
+  in
+  let r1 = run 1 and r2 = run 2 and r4 = run 4 in
+  check_true "4-waiter scope enumerates exhaustively" r1.Explore.complete;
+  check_true "jobs=2 identical" (comparable r2 = comparable r1);
+  check_true "jobs=4 identical" (comparable r4 = comparable r1)
+
+(* --- spill-to-disk dedup storage --- *)
+
+let spill_dir suffix =
+  Filename.concat (Filename.get_temp_dir_name ())
+    ("separation-test-spill-" ^ suffix)
+
+let test_spill_determinism () =
+  let layout, scripts = scripts_for (module Cc_flag) ~n:3 ~waiters:[ 1; 2 ] ~polls:2 in
+  let run ?jobs ~budget suffix =
+    Explore.check ?jobs ~mem_budget:budget ~spill_dir:(spill_dir suffix)
+      ~spill_seg_keys:16 ~layout ~model:(Cost_model.dsm layout) ~n:3 ~scripts
+      ~property:spec_ok ()
+  in
+  (* A budget far below the table size forces real paging; a roomy budget
+     never evicts.  Tiny segments (16 keys) make the paging heavy. *)
+  let tight = run ~budget:4096 "tight" in
+  let roomy = run ~budget:(64 * 1024 * 1024) "roomy" in
+  check_no_violation "tight budget" tight;
+  check_true "tight budget: complete" tight.Explore.complete;
+  check_true "tight budget spilled segments"
+    (tight.Explore.stats.Explore.spill_segments > 0);
+  check_true "and reloaded some" (tight.Explore.stats.Explore.spill_reloads > 0);
+  check_int "roomy budget never spilled" 0
+    roomy.Explore.stats.Explore.spill_segments;
+  check_true "identical runs modulo the spill counters"
+    (comparable_no_spill tight = comparable_no_spill roomy);
+  (* Byte-keyed dedup decisions match the in-memory structural ones. *)
+  let mem =
+    Explore.check ~layout ~model:(Cost_model.dsm layout) ~n:3 ~scripts
+      ~property:spec_ok ()
+  in
+  check_int "in-memory run has no spill counters" 0
+    (mem.Explore.stats.Explore.spill_segments
+    + mem.Explore.stats.Explore.spill_reloads);
+  check_true "spilled search equals the in-memory search"
+    (comparable_search tight = comparable_search mem);
+  (* Per-task spill directories keep paging deterministic across jobs —
+     including the spill counters themselves. *)
+  let tight2 = run ~jobs:2 ~budget:4096 "tight-j2" in
+  check_true "spill counters identical at jobs=2"
+    (comparable tight2 = comparable tight)
+
+let test_spill_store_basics () =
+  (* Unit-level: dense first-seen ids survive paging; reloads hand back
+     exact key bytes and the latest payload. *)
+  let dir = spill_dir "unit" in
+  let t =
+    Spill.create ~dir ~seg_keys:16 ~budget_bytes:1 ~chain_zero:0
+      ~chain_bytes:(fun _ -> 8)
+      ()
+  in
+  let key i = Printf.sprintf "key-%04d-%s" i (String.make 40 'x') in
+  let ids = Array.init 200 (fun i -> Spill.intern t ~hash:(i * 7919) (key i)) in
+  check_true "dense first-seen ids" (Array.to_list ids = List.init 200 Fun.id);
+  check_true "eviction happened" (Spill.spilled t > 0);
+  Spill.set_chain t 3 42;
+  for i = 0 to 199 do
+    check_int (Printf.sprintf "re-intern %d is stable" i) i
+      (Spill.intern t ~hash:(i * 7919) (key i))
+  done;
+  check_int "re-interning adds nothing" 200 (Spill.distinct t);
+  check_true "probe misses reloaded segments" (Spill.reloads t > 0);
+  check_int "payload update survives paging" 42 (Spill.chain t 3);
+  check_int "untouched payload keeps its zero" 0 (Spill.chain t 7);
+  check_true "key bytes round-trip exactly" (String.equal (Spill.key t 3) (key 3));
+  Spill.cleanup t;
+  check_false "cleanup removes the spill directory" (Sys.file_exists dir)
+
+(* --- stats plumbing --- *)
+
+let test_fp_stats_exposed () =
+  let r = explore (module Cc_flag) ~n:3 ~waiters:[ 1; 2 ] ~polls:2 in
+  let s = r.Explore.stats in
+  check_true "distinct keys counted" (s.Explore.fp_distinct > 0);
+  check_true "a task allocated intern slots" (s.Explore.fp_slots > 0);
+  check_true "intern load kept under 1/2"
+    (2 * s.Explore.fp_distinct <= s.Explore.fp_slots);
+  (* The commutative sum-hash trades mixing quality for O(1) incremental
+     maintenance; collisions cost a confirming compare, never soundness.
+     Structurally each newly interned key counts at most one. *)
+  check_true "collision count within its structural bound"
+    (s.Explore.fp_collisions < s.Explore.fp_distinct)
+
+let test_wall_metric_single_source () =
+  (* wall_s is computed once: the traced metric must carry the very value
+     the result reports, not a second clock read. *)
+  let layout, scripts = scripts_for (module Cc_flag) ~n:3 ~waiters:[ 1; 2 ] ~polls:2 in
+  let tr = Obs.Trace.create () in
+  let r =
+    Explore.check ~tracer:tr ~layout ~model:(Cost_model.dsm layout) ~n:3 ~scripts
+      ~property:spec_ok ()
+  in
+  let metric = Obs.Metrics.total (Obs.Trace.metrics tr) "explore_wall_seconds" in
+  check_true "explore_wall_seconds equals stats.wall_s exactly"
+    (metric = r.Explore.stats.Explore.wall_s)
+
 let suite =
   [ case "interleaving count" test_count_basics;
     case "history cap respected" test_count_respects_cap;
@@ -384,4 +697,19 @@ let suite =
     case "lean stepping changes nothing observable" test_lean_matches_full;
     case "fast spec property agrees with the checker" test_fast_property_agrees;
     case "capped search identical at every jobs" test_capped_jobs_deterministic;
-    case "fingerprint interning: dense stable ids" test_fp_intern_ids ]
+    case "fingerprint interning: dense stable ids" test_fp_intern_ids;
+    case "symmetry detection: sound accept and decline" test_detect_symmetry;
+    case "canonicalization: idempotent, orbit-invariant"
+      test_canonicalization_laws;
+    case "canonicalization: pinned slots never move"
+      test_canonicalization_pins_asymmetric_slots;
+    case "symmetry preserves the verdict, shrinks the search"
+      test_symmetry_preserves_verdict;
+    case "mutation caught under symmetry at every jobs"
+      test_symmetry_mutation_caught;
+    case "4 waiters under symmetry: identical at every jobs"
+      test_symmetry_jobs_deterministic;
+    case "spilled search identical to in-memory" test_spill_determinism;
+    case "spill store: ids and payloads survive paging" test_spill_store_basics;
+    case "intern-table stats exposed and sane" test_fp_stats_exposed;
+    case "wall-clock metric has a single source" test_wall_metric_single_source ]
